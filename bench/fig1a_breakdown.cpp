@@ -1,0 +1,39 @@
+// Figure 1(a) reproduction: distribution of mpiBLAST execution time
+// between search and non-search ("other") work, for 16/32/64 processes,
+// searching a query set against the nt-analogue database.
+//
+// Paper reference: search fraction slips from 95.6% at 16 processes to
+// 70.7% at 64 — search time shrinks with more workers while the
+// serialized result handling does not. Expected shape: monotonically
+// decreasing search fraction with process count.
+#include <iostream>
+
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads.h"
+
+using namespace pioblast;
+
+int main(int argc, char** argv) {
+  const auto& db = bench::nt_database();
+  const auto queries = bench::make_query_set(db, bench::QuerySizes::kLarge);
+  const auto cluster = bench::nt_altix();
+  const auto job = bench::nt_job();
+
+  bench::print_banner("Figure 1(a): mpiBLAST search vs non-search time",
+                      "nt-analogue database, " + std::to_string(db.size()) +
+                          " sequences, processes in {16, 32, 64}");
+
+  util::Table table(
+      {"Processes", "Search (s)", "Other (s)", "Total (s)", "Search %"});
+  for (int nprocs : {16, 32, 64}) {
+    const auto r = bench::run_mpiblast_job(cluster, nprocs, db, queries, job,
+                                           nprocs - 1);
+    const double other = r.phases.total - r.phases.search;
+    table.add_row({std::to_string(nprocs), util::fixed(r.phases.search, 2),
+                   util::fixed(other, 2), util::fixed(r.phases.total, 2),
+                   util::format_percent(r.phases.search_fraction())});
+  }
+  table.print(std::cout);
+  return bench::finish(table, argc, argv);
+}

@@ -1,0 +1,44 @@
+// Figure 3(a) reproduction: node scalability of mpiBLAST vs pioBLAST on
+// the Altix-analogue cluster, processes in {4, 8, 16, 32, 62}, default
+// query set against the nr-analogue database.
+//
+// Paper reference: both search times drop with more processes; mpiBLAST's
+// non-search time *grows* until it offsets the search gains (total time
+// rises past ~32 processes; only 10.3% of time in search at 62), while
+// pioBLAST's non-search time keeps shrinking (92.4% in search at 62,
+// 1.86x overall speedup from 32 to 62 processes).
+#include <iostream>
+
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads.h"
+
+using namespace pioblast;
+
+int main(int argc, char** argv) {
+  const auto& db = bench::nr_database();
+  const auto queries = bench::make_query_set(db, bench::QuerySizes::kDefault);
+  const auto cluster = bench::altix();
+  const auto job = bench::nr_job();
+
+  bench::print_banner("Figure 3(a): node scalability, mpiBLAST vs pioBLAST",
+                      "nr-analogue database, natural partitioning, processes "
+                      "in {4, 8, 16, 32, 62}");
+
+  util::Table table({"Program-Procs", "Search (s)", "Other (s)", "Total (s)",
+                     "Search %"});
+  auto add = [&](const std::string& name, const blast::DriverResult& r) {
+    table.add_row({name, util::fixed(r.phases.search, 2),
+                   util::fixed(r.phases.total - r.phases.search, 2),
+                   util::fixed(r.phases.total, 2),
+                   util::format_percent(r.phases.search_fraction())});
+  };
+  for (int nprocs : {4, 8, 16, 32, 62}) {
+    add("mpi-" + std::to_string(nprocs),
+        bench::run_mpiblast_job(cluster, nprocs, db, queries, job, nprocs - 1));
+    add("pio-" + std::to_string(nprocs),
+        bench::run_pioblast_job(cluster, nprocs, db, queries, job));
+  }
+  table.print(std::cout);
+  return bench::finish(table, argc, argv);
+}

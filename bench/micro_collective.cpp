@@ -1,0 +1,114 @@
+// Micro-study (virtual time): two-phase collective output vs master-serial
+// output for the interleaved region pattern pioBLAST produces — the §3.3
+// mechanism in isolation, swept over rank counts, data volumes, aggregator
+// counts, and both storage models.
+#include <cstdio>
+#include <iostream>
+
+#include "mpisim/runtime.h"
+#include "pario/collective.h"
+#include "pario/file.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads.h"
+
+using namespace pioblast;
+
+namespace {
+
+/// Interleaved 1.5 KB records (alignment-output-sized) totalling `bytes`.
+struct Pattern {
+  static constexpr std::uint64_t kRecord = 1536;
+};
+
+/// Virtual time of a collective write of `total` bytes by `nprocs` ranks.
+double collective_time(const sim::ClusterConfig& cluster, int nprocs,
+                       std::uint64_t total, int aggregators) {
+  pario::VirtualFS fs(cluster.shared_storage);
+  const std::uint64_t records = total / Pattern::kRecord;
+  const auto report = mpisim::run(nprocs, cluster, [&](mpisim::Process& p) {
+    pario::FileView view;
+    std::vector<std::uint8_t> data;
+    for (std::uint64_t r = static_cast<std::uint64_t>(p.rank()); r < records;
+         r += static_cast<std::uint64_t>(p.size())) {
+      view.append({r * Pattern::kRecord, Pattern::kRecord});
+      data.insert(data.end(), Pattern::kRecord, static_cast<std::uint8_t>(r));
+    }
+    pario::CollectiveConfig cfg;
+    cfg.aggregators = aggregators;
+    pario::collective_write(p, fs, "out", view, data, cfg);
+  });
+  return report.makespan();
+}
+
+/// Virtual time of the mpiBLAST pattern: every record travels to rank 0,
+/// which writes the file serially.
+double serial_time(const sim::ClusterConfig& cluster, int nprocs,
+                   std::uint64_t total) {
+  pario::VirtualFS fs(cluster.shared_storage);
+  const std::uint64_t records = total / Pattern::kRecord;
+  const auto report = mpisim::run(nprocs, cluster, [&](mpisim::Process& p) {
+    constexpr int kTag = 1;
+    if (p.rank() == 0) {
+      std::uint64_t offset = 0;
+      for (std::uint64_t r = 0; r < records; ++r) {
+        const int owner = static_cast<int>(r % static_cast<std::uint64_t>(
+                                                   p.size() - 1)) +
+                          1;
+        p.send_value<std::uint64_t>(owner, kTag, r);
+        auto msg = p.recv(owner, kTag);
+        pario::timed_write(p, fs, "out", offset, msg.payload, 1);
+        offset += msg.payload.size();
+      }
+      for (int w = 1; w < p.size(); ++w)
+        p.send_value<std::uint64_t>(w, kTag, ~0ull);
+    } else {
+      while (true) {
+        const auto r = p.recv_value<std::uint64_t>(0, kTag);
+        if (r == ~0ull) break;
+        std::vector<std::uint8_t> rec(Pattern::kRecord,
+                                      static_cast<std::uint8_t>(r));
+        p.send(0, kTag, rec);
+      }
+    }
+    p.barrier();
+  });
+  return report.makespan();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Micro: collective vs serial output (virtual time)",
+                      "interleaved 1.5 KB records, shared output file");
+
+  for (const bool nfs : {false, true}) {
+    const auto cluster = nfs ? bench::blade() : bench::altix();
+    std::printf("--- storage: %s ---\n", cluster.shared_storage.name().c_str());
+    util::Table table({"Ranks", "Volume", "Serial (s)", "Collective (s)",
+                       "Speedup"});
+    for (int nprocs : {4, 16, 32}) {
+      for (std::uint64_t mb : {1ull, 4ull}) {
+        const std::uint64_t total = mb << 20;
+        const double ser = serial_time(cluster, nprocs, total);
+        const double col = collective_time(cluster, nprocs, total, 4);
+        table.add_row({std::to_string(nprocs), util::format_bytes(total),
+                       util::fixed(ser, 3), util::fixed(col, 3),
+                       util::fixed(ser / col, 1) + "x"});
+      }
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("aggregator sweep (xfs, 32 ranks, 4 MiB):\n");
+  util::Table table({"Aggregators", "Collective (s)"});
+  const auto cluster = bench::altix();
+  for (int aggs : {1, 2, 4, 8, 16, 31}) {
+    table.add_row({std::to_string(aggs),
+                   util::fixed(collective_time(cluster, 32, 4u << 20, aggs), 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}

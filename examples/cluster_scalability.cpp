@@ -1,0 +1,86 @@
+// Example: capacity planning with the cluster simulator.
+//
+// A user deciding how many nodes to request (and which machine to run on)
+// sweeps both drivers over process counts on the Altix-like and the
+// NFS-blade-like clusters, then reads off where adding workers stops
+// paying. Exercises the public API end to end: cluster presets, storage
+// environments, mpiformatdb, and both drivers.
+//
+//   ./build/examples/cluster_scalability
+#include <cstdio>
+#include <iostream>
+
+#include "blast/job.h"
+#include "mpiblast/mpiblast.h"
+#include "pioblast/pioblast.h"
+#include "seqdb/generator.h"
+#include "seqdb/partition.h"
+#include "util/table.h"
+
+using namespace pioblast;
+
+namespace {
+
+blast::DriverResult run_once(const sim::ClusterConfig& cluster, int nprocs,
+                             const std::vector<seqdb::FastaRecord>& db,
+                             const std::string& query_fasta, bool use_pioblast) {
+  pario::ClusterStorage storage(cluster, nprocs);
+  storage.shared().write_all(
+      "q.fa", std::span(reinterpret_cast<const std::uint8_t*>(query_fasta.data()),
+                        query_fasta.size()));
+  blast::JobConfig job;
+  job.db_base = "db";
+  job.db_title = "scalability example db";
+  job.query_path = "q.fa";
+  job.output_path = "out.txt";
+  job.params = blast::SearchParams::blastp_defaults();
+  job.params.hitlist_size = 5;
+
+  if (use_pioblast) {
+    seqdb::format_db(storage.shared(), db, job.db_base, job.params.type,
+                     job.db_title);
+    pio::PioBlastOptions opts;
+    opts.job = job;
+    return pio::run_pioblast(cluster, nprocs, storage, opts);
+  }
+  const auto parts = seqdb::mpiformatdb(storage.shared(), db, job.db_base,
+                                        job.params.type, job.db_title,
+                                        nprocs - 1);
+  mpiblast::MpiBlastOptions opts;
+  opts.job = job;
+  opts.fragment_bases = parts.fragment_bases;
+  opts.fragment_ranges = parts.ranges;
+  opts.global_index = parts.global_index;
+  return mpiblast::run_mpiblast(cluster, nprocs, storage, opts);
+}
+
+}  // namespace
+
+int main() {
+  seqdb::GeneratorConfig gen;
+  gen.target_residues = 768u << 10;
+  gen.seed = 31415;
+  gen.family_fraction = 0.6;
+  const auto db = seqdb::generate_database(gen);
+  const auto query_fasta =
+      seqdb::write_fasta(seqdb::sample_queries(db, 6u << 10, 27));
+
+  for (const bool nfs : {false, true}) {
+    const auto cluster =
+        nfs ? sim::ClusterConfig::ncsu_blade() : sim::ClusterConfig::ornl_altix();
+    std::printf("=== cluster: %s ===\n", cluster.name.c_str());
+    util::Table table({"Procs", "mpiBLAST total (s)", "pioBLAST total (s)",
+                       "pioBLAST speedup"});
+    for (int nprocs : {4, 8, 16}) {
+      const auto mpi = run_once(cluster, nprocs, db, query_fasta, false);
+      const auto pio = run_once(cluster, nprocs, db, query_fasta, true);
+      table.add_row({std::to_string(nprocs),
+                     util::fixed(mpi.phases.total, 2),
+                     util::fixed(pio.phases.total, 2),
+                     util::fixed(mpi.phases.total / pio.phases.total, 2) + "x"});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

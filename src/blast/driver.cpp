@@ -1,0 +1,27 @@
+#include "blast/driver.h"
+
+#include <algorithm>
+
+namespace pioblast::blast {
+
+PhaseBreakdown summarize_run(const mpisim::RunReport& report) {
+  PhaseBreakdown out;
+  out.total = report.makespan();
+  for (const auto& rank : report.ranks) {
+    if (rank.rank == 0) continue;  // master accounted separately
+    out.copy_input = std::max(
+        out.copy_input, rank.phases.get("copy") + rank.phases.get("input"));
+    out.search = std::max(out.search, rank.phases.get("search"));
+  }
+  // Single-process fallback: use the only rank's buckets.
+  if (report.ranks.size() == 1) {
+    const auto& r = report.ranks.front();
+    out.copy_input = r.phases.get("copy") + r.phases.get("input");
+    out.search = r.phases.get("search");
+  }
+  out.output = report.phase_of(0, "output");
+  out.other = std::max(0.0, out.total - out.copy_input - out.search - out.output);
+  return out;
+}
+
+}  // namespace pioblast::blast

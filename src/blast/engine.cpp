@@ -1,0 +1,270 @@
+#include "blast/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pioblast::blast {
+
+ScoringMatrix make_matrix(const SearchParams& params) {
+  return params.type == seqdb::SeqType::kProtein
+             ? ScoringMatrix::blosum62()
+             : ScoringMatrix::dna(params.dna_match, params.dna_mismatch);
+}
+
+QueryContext::QueryContext(std::uint32_t query_id,
+                           std::span<const std::uint8_t> residues,
+                           const SearchParams& params, const ScoringMatrix& matrix,
+                           const GlobalDbStats& db)
+    : query_id_(query_id),
+      residues_(residues.begin(), residues.end()),
+      params_(params),
+      matrix_(matrix),
+      db_(db),
+      index_(residues_, matrix, params),
+      adjust_(length_adjustment(matrix.gapped(), residues_.size(), db)) {
+  // Smallest raw score that can still reach the E-value cutoff:
+  //   E = K m' n' exp(-lambda S) <= E0  =>  S >= ln(K m' n' / E0) / lambda.
+  const KarlinParams& kp = matrix.gapped();
+  const double m_eff = static_cast<double>(
+      std::max<std::uint64_t>(residues_.size() - adjust_, 1));
+  const double n_eff = static_cast<double>(std::max<std::uint64_t>(
+      db.total_residues > db.num_seqs * adjust_
+          ? db.total_residues - db.num_seqs * adjust_
+          : 1,
+      1));
+  const double s = std::log(kp.K * m_eff * n_eff / params.evalue_cutoff) / kp.lambda;
+  cutoff_score_ = std::max(params.cutoff_score_min,
+                           static_cast<int>(std::ceil(std::max(s, 1.0))));
+}
+
+namespace {
+
+/// Epoch-stamped per-diagonal table, reused across subjects so the scan
+/// does not reallocate or clear for every sequence.
+class DiagTable {
+ public:
+  void begin_subject(std::size_t qlen, std::size_t slen) {
+    const std::size_t need = qlen + slen + 1;
+    if (entries_.size() < need) entries_.resize(need);
+    ++epoch_;
+  }
+
+  /// Last seed position recorded on the diagonal (or -1).
+  std::int64_t last_seed(std::size_t diag) const {
+    const Entry& e = entries_[diag];
+    return e.seed_epoch == epoch_ ? e.last_seed : -1;
+  }
+  void set_last_seed(std::size_t diag, std::int64_t pos) {
+    Entry& e = entries_[diag];
+    e.seed_epoch = epoch_;
+    e.last_seed = pos;
+  }
+
+  /// Subject offset up to which this diagonal is covered by an extension.
+  std::int64_t covered_until(std::size_t diag) const {
+    const Entry& e = entries_[diag];
+    return e.cover_epoch == epoch_ ? e.covered : -1;
+  }
+  void set_covered(std::size_t diag, std::int64_t until) {
+    Entry& e = entries_[diag];
+    const std::int64_t prev = e.cover_epoch == epoch_ ? e.covered : -1;
+    e.cover_epoch = epoch_;
+    e.covered = std::max(prev, until);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t seed_epoch = 0;
+    std::uint64_t cover_epoch = 0;
+    std::int64_t last_seed = -1;
+    std::int64_t covered = -1;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Fills identity/positive/gap counts by replaying the traceback.
+void annotate_alignment(Hsp& hsp, std::span<const std::uint8_t> query,
+                        std::span<const std::uint8_t> subject,
+                        const ScoringMatrix& matrix) {
+  std::uint32_t qi = hsp.qstart;
+  std::uint64_t si = hsp.sstart;
+  hsp.identities = 0;
+  hsp.positives = 0;
+  hsp.gaps = 0;
+  hsp.align_len = static_cast<std::uint32_t>(hsp.ops.size());
+  for (AlignOp op : hsp.ops) {
+    switch (op) {
+      case AlignOp::kMatch: {
+        const std::uint8_t a = query[qi];
+        const std::uint8_t b = subject[si];
+        if (a == b) ++hsp.identities;
+        if (matrix.score(a, b) > 0) ++hsp.positives;
+        ++qi;
+        ++si;
+        break;
+      }
+      case AlignOp::kInsert:
+        ++hsp.gaps;
+        ++qi;
+        break;
+      case AlignOp::kDelete:
+        ++hsp.gaps;
+        ++si;
+        break;
+    }
+  }
+  PIOBLAST_CHECK_MSG(qi == hsp.qend && si == hsp.send,
+                     "traceback does not span the HSP coordinates");
+}
+
+/// True if `a` is contained within `b`'s envelope on both sequences.
+bool contained_in(const Hsp& a, const Hsp& b) {
+  return a.qstart >= b.qstart && a.qend <= b.qend && a.sstart >= b.sstart &&
+         a.send <= b.send;
+}
+
+}  // namespace
+
+FragmentSearchResult search_fragment(const QueryContext& query,
+                                     const seqdb::LoadedFragment& fragment) {
+  FragmentSearchResult result;
+  const SearchParams& params = query.params();
+  const ScoringMatrix& matrix = query.matrix();
+  const std::span<const std::uint8_t> q = query.residues();
+  const std::size_t qlen = q.size();
+  const int w = params.word_size;
+  const bool two_hit = params.two_hit_window > 0;
+
+  if (qlen < static_cast<std::size_t>(w)) return result;
+
+  DiagTable diags;
+  std::vector<Hsp> subject_hsps;
+  // Envelopes of every gapped extension run for the current subject —
+  // including ones whose score fell below the cutoffs. Seeds inside an
+  // explored envelope are skipped; without this, a weak homolog (below
+  // the reporting cutoff) would re-run a near-full-length gapped DP for
+  // every one of its seeds.
+  struct Envelope {
+    std::uint32_t qstart, qend;
+    std::uint64_t sstart, send;
+  };
+  std::vector<Envelope> explored;
+
+  for (std::uint64_t local = 0; local < fragment.num_seqs(); ++local) {
+    const std::span<const std::uint8_t> s = fragment.sequence(local);
+    result.counters.db_residues_scanned += s.size();
+    if (s.size() < static_cast<std::size_t>(w)) continue;
+    diags.begin_subject(qlen, s.size());
+    subject_hsps.clear();
+    explored.clear();
+
+    const std::size_t last_word = s.size() - static_cast<std::size_t>(w);
+    for (std::size_t spos = 0; spos <= last_word; ++spos) {
+      const PositionList* hits = query.index().probe(s.data() + spos);
+      if (hits == nullptr) continue;
+      for (const std::uint32_t qpos : *hits) {
+        ++result.counters.seed_hits;
+        const std::size_t diag = spos + qlen - qpos;
+
+        // Skip seeds inside a region an extension already covered.
+        if (static_cast<std::int64_t>(spos) <= diags.covered_until(diag)) continue;
+
+        if (two_hit) {
+          // NCBI two-hit rule: a fresh hit or one beyond the window resets
+          // the diagonal; a hit overlapping the previous one (distance
+          // < w) is ignored *without* updating it — otherwise runs of
+          // consecutive seeds (identical sequences!) would never trigger.
+          const std::int64_t prev = diags.last_seed(diag);
+          const std::int64_t gap =
+              prev < 0 ? -1 : static_cast<std::int64_t>(spos) - prev;
+          if (prev < 0 || gap > params.two_hit_window) {
+            diags.set_last_seed(diag, static_cast<std::int64_t>(spos));
+            continue;
+          }
+          if (gap < w) continue;  // overlapping hit: keep the older one
+          diags.set_last_seed(diag, static_cast<std::int64_t>(spos));
+        }
+
+        ++result.counters.two_hit_triggers;
+        const UngappedExtension ung =
+            extend_ungapped(q, s, qpos, spos, w, matrix, params.xdrop_ungapped);
+        result.counters.ungapped_cells += ung.cells;
+        diags.set_covered(diag, static_cast<std::int64_t>(ung.send) - w);
+        if (ung.score < params.gap_trigger) continue;
+
+        // Seeds whose ungapped segment lies inside a region some gapped
+        // extension already explored would re-derive (a piece of) the same
+        // alignment: skip them before the expensive gapped pass, as NCBI
+        // BLAST does. Homologs with indels otherwise trigger one
+        // near-full-length gapped extension per indel-shifted diagonal.
+        bool inside_existing = false;
+        for (const Envelope& env : explored) {
+          if (ung.qstart >= env.qstart && ung.qend <= env.qend &&
+              ung.sstart >= env.sstart && ung.send <= env.send) {
+            inside_existing = true;
+            break;
+          }
+        }
+        if (inside_existing) continue;
+
+        // Anchor the gapped pass at the midpoint of the ungapped segment.
+        const std::uint32_t half =
+            (ung.qend - ung.qstart) / 2;
+        const std::uint32_t anchor_q = ung.qstart + half;
+        const std::uint64_t anchor_s = ung.sstart + half;
+        GappedExtension gap = extend_gapped(q, s, anchor_q, anchor_s, matrix,
+                                            params.gap_open, params.gap_extend,
+                                            params.xdrop_gapped);
+        result.counters.gapped_cells += gap.cells;
+        result.counters.traceback_cells += gap.ops.size();
+        diags.set_covered(diag, static_cast<std::int64_t>(gap.send) - w);
+        explored.push_back({gap.qstart, gap.qend, gap.sstart, gap.send});
+        if (gap.score < query.cutoff_score()) continue;
+
+        Hsp hsp;
+        hsp.query_id = query.query_id();
+        hsp.subject_global_id = fragment.global_id(local);
+        hsp.qstart = gap.qstart;
+        hsp.qend = gap.qend;
+        hsp.sstart = gap.sstart;
+        hsp.send = gap.send;
+        hsp.score = gap.score;
+        hsp.ops = std::move(gap.ops);
+        const KarlinParams& kp = matrix.gapped();
+        hsp.bits = bit_score(kp, hsp.score);
+        hsp.evalue = evalue(kp, hsp.score, qlen, query.db(), query.length_adjust());
+        if (hsp.evalue > params.evalue_cutoff) continue;
+        annotate_alignment(hsp, q, s, matrix);
+        subject_hsps.push_back(std::move(hsp));
+      }
+    }
+
+    // Containment culling within the subject: keep an HSP only if it is not
+    // enveloped by a better one.
+    std::sort(subject_hsps.begin(), subject_hsps.end(), Hsp::better);
+    std::vector<Hsp> kept;
+    for (Hsp& cand : subject_hsps) {
+      bool dominated = false;
+      for (const Hsp& better_hsp : kept) {
+        if (contained_in(cand, better_hsp)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) kept.push_back(std::move(cand));
+    }
+    for (Hsp& h : kept) result.hsps.push_back(std::move(h));
+  }
+
+  // Rank and apply the per-fragment hit-list cut ("local cut").
+  std::sort(result.hsps.begin(), result.hsps.end(), Hsp::better);
+  if (result.hsps.size() > static_cast<std::size_t>(params.hitlist_size))
+    result.hsps.resize(static_cast<std::size_t>(params.hitlist_size));
+  result.counters.hsps_found = result.hsps.size();
+  return result;
+}
+
+}  // namespace pioblast::blast

@@ -1,0 +1,54 @@
+// Seed extension: ungapped X-drop and gapped affine-cost X-drop DP.
+//
+// Mirrors the NCBI BLAST pipeline stages: a two-hit-triggered seed is first
+// extended without gaps along its diagonal; if the ungapped score reaches
+// the gap trigger, a gapped extension runs in both directions from an
+// anchor inside the ungapped segment, with traceback so the final HSP
+// carries a full alignment (needed for output formatting and identity
+// counts). Cell counters feed the deterministic compute-cost model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blast/hsp.h"
+#include "blast/scoring.h"
+
+namespace pioblast::blast {
+
+/// Result of an ungapped X-drop extension around a seed.
+struct UngappedExtension {
+  int score = 0;
+  std::uint32_t qstart = 0, qend = 0;  ///< half-open on the query
+  std::uint64_t sstart = 0, send = 0;  ///< half-open on the subject
+  std::uint64_t cells = 0;             ///< residue pairs examined
+};
+
+/// Extends the `word_size` seed at (qpos, spos) along its diagonal in both
+/// directions, stopping when the running score drops `xdrop` below the best.
+UngappedExtension extend_ungapped(std::span<const std::uint8_t> query,
+                                  std::span<const std::uint8_t> subject,
+                                  std::uint32_t qpos, std::uint64_t spos,
+                                  int word_size, const ScoringMatrix& matrix,
+                                  int xdrop);
+
+/// Result of a gapped extension (both directions combined).
+struct GappedExtension {
+  int score = 0;
+  std::uint32_t qstart = 0, qend = 0;
+  std::uint64_t sstart = 0, send = 0;
+  std::vector<AlignOp> ops;  ///< traceback from (qstart,sstart) to (qend,send)
+  std::uint64_t cells = 0;   ///< DP cells evaluated (both directions)
+};
+
+/// Gapped X-drop extension anchored at the aligned pair (anchor_q,
+/// anchor_s), which must lie inside a seeded match. Gap costs follow the
+/// NCBI convention: a gap of length k costs open + k * extend.
+GappedExtension extend_gapped(std::span<const std::uint8_t> query,
+                              std::span<const std::uint8_t> subject,
+                              std::uint32_t anchor_q, std::uint64_t anchor_s,
+                              const ScoringMatrix& matrix, int gap_open,
+                              int gap_extend, int xdrop);
+
+}  // namespace pioblast::blast

@@ -1,0 +1,221 @@
+#include "blast/format.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "blast/scoring.h"
+#include "util/error.h"
+
+namespace pioblast::blast {
+
+std::string format_evalue(double e) {
+  char buf[64];
+  if (e <= 0 || e < 1e-180) {
+    return "0.0";
+  }
+  if (e < 1e-4) {
+    std::snprintf(buf, sizeof buf, "%.0e", e);
+    // Normalize exponent form: "3e-31" not "3e-031".
+    std::string s = buf;
+    const auto epos = s.find('e');
+    if (epos != std::string::npos) {
+      std::string mant = s.substr(0, epos);
+      std::string exp = s.substr(epos + 1);
+      bool neg = false;
+      std::size_t i = 0;
+      if (!exp.empty() && (exp[0] == '-' || exp[0] == '+')) {
+        neg = exp[0] == '-';
+        i = 1;
+      }
+      while (i < exp.size() - 1 && exp[i] == '0') ++i;
+      s = mant + "e" + (neg ? "-" : "") + exp.substr(i);
+    }
+    return s;
+  }
+  if (e < 0.1) {
+    std::snprintf(buf, sizeof buf, "%.3f", e);
+  } else if (e < 10) {
+    std::snprintf(buf, sizeof buf, "%.1f", e);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", e);
+  }
+  return buf;
+}
+
+namespace {
+
+/// Thousands-separated integer, NCBI header style ("1,986,684").
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_query_header(const seqdb::FastaRecord& query,
+                                const std::string& db_title,
+                                const GlobalDbStats& db,
+                                std::uint64_t reported_alignments) {
+  std::string out;
+  out += "Query= " + query.defline() + "\n";
+  out += "         (" + with_commas(query.sequence.size()) + " letters)\n\n";
+  out += "Database: " + db_title + "\n";
+  out += "           " + with_commas(db.num_seqs) + " sequences; " +
+         with_commas(db.total_residues) + " total letters\n\n";
+  out += "Sequences producing significant alignments: " +
+         std::to_string(reported_alignments) + "\n\n";
+  return out;
+}
+
+std::string format_no_hits() { return " ***** No hits found ******\n\n"; }
+
+std::string_view defline_id(std::string_view defline) {
+  const auto space = defline.find_first_of(" \t");
+  return space == std::string_view::npos ? defline : defline.substr(0, space);
+}
+
+std::string format_tabular_query_header(const seqdb::FastaRecord& query,
+                                        const std::string& db_title,
+                                        std::uint64_t reported_alignments) {
+  std::string out;
+  out += "# Query: " + query.defline() + "\n";
+  out += "# Database: " + db_title + "\n";
+  out += "# Fields: Query id, Subject id, % identity, alignment length, "
+         "mismatches, gap openings, q. start, q. end, s. start, s. end, "
+         "e-value, bit score\n";
+  out += "# " + std::to_string(reported_alignments) + " hits found\n";
+  return out;
+}
+
+std::string format_tabular_line(const Hsp& hsp, std::string_view query_id,
+                                std::string_view subject_defline) {
+  // Gap openings = number of maximal indel runs in the traceback.
+  std::uint32_t gap_openings = 0;
+  bool in_gap = false;
+  for (AlignOp op : hsp.ops) {
+    if (op == AlignOp::kMatch) {
+      in_gap = false;
+    } else if (!in_gap) {
+      ++gap_openings;
+      in_gap = true;
+    }
+  }
+  const std::uint32_t alen = std::max<std::uint32_t>(hsp.align_len, 1);
+  const std::uint32_t mismatches = hsp.align_len - hsp.identities - hsp.gaps;
+  const std::string_view subject_id = defline_id(subject_defline);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%.*s\t%.*s\t%.2f\t%u\t%u\t%u\t%u\t%u\t%llu\t%llu\t%s\t%.1f\n",
+                static_cast<int>(query_id.size()), query_id.data(),
+                static_cast<int>(subject_id.size()), subject_id.data(),
+                100.0 * hsp.identities / alen, hsp.align_len, mismatches,
+                gap_openings, hsp.qstart + 1, hsp.qend,
+                static_cast<unsigned long long>(hsp.sstart + 1),
+                static_cast<unsigned long long>(hsp.send),
+                format_evalue(hsp.evalue).c_str(), hsp.bits);
+  return buf;
+}
+
+std::string format_alignment(const Hsp& hsp, seqdb::SeqType type,
+                             std::span<const std::uint8_t> query_residues,
+                             std::span<const std::uint8_t> subject_residues,
+                             std::string_view subject_defline,
+                             std::uint64_t subject_length,
+                             const ScoringMatrix& matrix) {
+  std::string out;
+  out += ">" + std::string(subject_defline) + "\n";
+  out += "          Length = " + with_commas(subject_length) + "\n\n";
+
+  char line[160];
+  std::snprintf(line, sizeof line, " Score = %.1f bits (%d), Expect = %s\n",
+                hsp.bits, hsp.score, format_evalue(hsp.evalue).c_str());
+  out += line;
+  const std::uint32_t alen = std::max<std::uint32_t>(hsp.align_len, 1);
+  std::snprintf(line, sizeof line,
+                " Identities = %u/%u (%u%%), Positives = %u/%u (%u%%), "
+                "Gaps = %u/%u (%u%%)\n\n",
+                hsp.identities, hsp.align_len, 100 * hsp.identities / alen,
+                hsp.positives, hsp.align_len, 100 * hsp.positives / alen,
+                hsp.gaps, hsp.align_len, 100 * hsp.gaps / alen);
+  out += line;
+
+  // Build the three gapped strings once, then emit 60-column panels.
+  std::string qline, mline, sline;
+  qline.reserve(hsp.ops.size());
+  mline.reserve(hsp.ops.size());
+  sline.reserve(hsp.ops.size());
+  std::uint32_t qi = hsp.qstart;
+  std::uint64_t si = hsp.sstart;
+  for (AlignOp op : hsp.ops) {
+    switch (op) {
+      case AlignOp::kMatch: {
+        const std::uint8_t a = query_residues[qi];
+        const std::uint8_t b = subject_residues[si];
+        const char qc = seqdb::decode_residue(type, a);
+        const char sc = seqdb::decode_residue(type, b);
+        qline.push_back(qc);
+        sline.push_back(sc);
+        if (a == b) {
+          mline.push_back(type == seqdb::SeqType::kProtein ? qc : '|');
+        } else if (type == seqdb::SeqType::kProtein && matrix.score(a, b) > 0) {
+          mline.push_back('+');
+        } else {
+          mline.push_back(' ');
+        }
+        ++qi;
+        ++si;
+        break;
+      }
+      case AlignOp::kInsert:
+        qline.push_back(seqdb::decode_residue(type, query_residues[qi]));
+        mline.push_back(' ');
+        sline.push_back('-');
+        ++qi;
+        break;
+      case AlignOp::kDelete:
+        qline.push_back('-');
+        mline.push_back(' ');
+        sline.push_back(seqdb::decode_residue(type, subject_residues[si]));
+        ++si;
+        break;
+    }
+  }
+
+  constexpr std::size_t kWidth = 60;
+  std::uint32_t qcursor = hsp.qstart;
+  std::uint64_t scursor = hsp.sstart;
+  for (std::size_t off = 0; off < qline.size(); off += kWidth) {
+    const std::size_t len = std::min(kWidth, qline.size() - off);
+    const std::string qseg = qline.substr(off, len);
+    const std::string mseg = mline.substr(off, len);
+    const std::string sseg = sline.substr(off, len);
+    std::uint32_t qconsumed = 0;
+    std::uint64_t sconsumed = 0;
+    for (char c : qseg)
+      if (c != '-') ++qconsumed;
+    for (char c : sseg)
+      if (c != '-') ++sconsumed;
+
+    std::snprintf(line, sizeof line, "Query: %-5u %s %u\n", qcursor + 1,
+                  qseg.c_str(), qcursor + qconsumed);
+    out += line;
+    out += "             " + mseg + "\n";
+    std::snprintf(line, sizeof line, "Sbjct: %-5llu %s %llu\n",
+                  static_cast<unsigned long long>(scursor + 1), sseg.c_str(),
+                  static_cast<unsigned long long>(scursor + sconsumed));
+    out += line;
+    out += "\n";
+    qcursor += qconsumed;
+    scursor += sconsumed;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace pioblast::blast

@@ -1,0 +1,68 @@
+// High-scoring segment pairs (HSPs) and search parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seqdb/alphabet.h"
+
+namespace pioblast::blast {
+
+/// One aligned operation run in an HSP traceback.
+enum class AlignOp : std::uint8_t {
+  kMatch = 0,   ///< residue aligned to residue (match or substitution)
+  kInsert = 1,  ///< gap in subject (query residue consumed)
+  kDelete = 2,  ///< gap in query (subject residue consumed)
+};
+
+/// A gapped local alignment between one query and one database sequence.
+/// Coordinates are 0-based half-open over the *ungapped* sequences.
+struct Hsp {
+  std::uint32_t query_id = 0;          ///< index within the query set
+  std::uint64_t subject_global_id = 0; ///< ordinal in the *global* database
+  std::uint32_t qstart = 0, qend = 0;
+  std::uint64_t sstart = 0, send = 0;
+  std::int32_t score = 0;              ///< raw score
+  double bits = 0.0;
+  double evalue = 0.0;
+  std::uint32_t identities = 0;
+  std::uint32_t positives = 0;  ///< positions with positive substitution score
+  std::uint32_t gaps = 0;       ///< gap characters in the alignment
+  std::uint32_t align_len = 0;  ///< alignment columns
+  std::vector<AlignOp> ops;     ///< traceback, query/subject start to end
+
+  /// Deterministic strict weak order used everywhere results are ranked:
+  /// better score first, then lower E-value, then query/subject/position
+  /// tie-breaks so merged output is unique regardless of partitioning.
+  static bool better(const Hsp& a, const Hsp& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.evalue != b.evalue) return a.evalue < b.evalue;
+    if (a.subject_global_id != b.subject_global_id)
+      return a.subject_global_id < b.subject_global_id;
+    if (a.qstart != b.qstart) return a.qstart < b.qstart;
+    return a.sstart < b.sstart;
+  }
+};
+
+/// Search parameter set (NCBI blastall-style defaults).
+struct SearchParams {
+  seqdb::SeqType type = seqdb::SeqType::kProtein;
+  int word_size = 3;          ///< 3 for blastp, 11 for blastn
+  int threshold = 11;         ///< neighborhood word score threshold T (blastp)
+  int two_hit_window = 40;    ///< A: max diagonal distance between seed pair
+  int xdrop_ungapped = 16;    ///< raw-score drop-off for ungapped extension
+  int xdrop_gapped = 38;      ///< raw-score drop-off for gapped extension
+  int gap_open = 11;
+  int gap_extend = 1;
+  int gap_trigger = 41;       ///< min ungapped score to attempt gapped extension
+  int cutoff_score_min = 25;  ///< discard HSPs below this raw score outright
+  double evalue_cutoff = 10.0;
+  int hitlist_size = 500;     ///< max alignments reported per query (local cut)
+  int dna_match = 1;
+  int dna_mismatch = -3;
+
+  static SearchParams blastp_defaults();
+  static SearchParams blastn_defaults();
+};
+
+}  // namespace pioblast::blast

@@ -1,0 +1,125 @@
+#include "blast/seed.h"
+
+#include "util/error.h"
+
+namespace pioblast::blast {
+
+SearchParams SearchParams::blastp_defaults() {
+  SearchParams p;
+  p.type = seqdb::SeqType::kProtein;
+  p.word_size = 3;
+  p.threshold = 11;
+  p.two_hit_window = 40;
+  p.xdrop_ungapped = 16;
+  p.xdrop_gapped = 38;
+  p.gap_open = 11;
+  p.gap_extend = 1;
+  p.gap_trigger = 41;
+  p.cutoff_score_min = 25;
+  return p;
+}
+
+SearchParams SearchParams::blastn_defaults() {
+  SearchParams p;
+  p.type = seqdb::SeqType::kNucleotide;
+  p.word_size = 11;
+  p.threshold = 0;      // exact words
+  p.two_hit_window = 0; // blastn extends on single hits
+  p.xdrop_ungapped = 20;
+  p.xdrop_gapped = 30;
+  p.gap_open = 5;
+  p.gap_extend = 2;
+  p.gap_trigger = 18;
+  p.cutoff_score_min = 14;
+  return p;
+}
+
+WordIndex::WordIndex(std::span<const std::uint8_t> query,
+                     const ScoringMatrix& matrix, const SearchParams& params)
+    : is_dna_(params.type == seqdb::SeqType::kNucleotide),
+      word_size_(params.word_size) {
+  PIOBLAST_CHECK_MSG(!is_dna_ || (word_size_ >= 4 && word_size_ <= 31),
+                     "blastn word size must be in [4,31]");
+  PIOBLAST_CHECK_MSG(is_dna_ || word_size_ == 3, "blastp word size must be 3");
+  if (query.size() < static_cast<std::size_t>(word_size_)) return;
+  if (is_dna_) {
+    build_dna(query);
+  } else {
+    build_protein(query, matrix, params.threshold);
+  }
+}
+
+void WordIndex::build_protein(std::span<const std::uint8_t> query,
+                              const ScoringMatrix& matrix, int threshold) {
+  dense_.assign(24u * 24u * 24u, {});
+  const int n = static_cast<int>(query.size()) - 2;
+  for (int pos = 0; pos < n; ++pos) {
+    const std::uint8_t q0 = query[static_cast<std::size_t>(pos)];
+    const std::uint8_t q1 = query[static_cast<std::size_t>(pos) + 1];
+    const std::uint8_t q2 = query[static_cast<std::size_t>(pos) + 2];
+    // Enumerate neighborhood words with branch-and-bound: a partial score
+    // plus the remaining rows' maxima must still be able to reach T.
+    const int max1 = matrix.row_max(q1);
+    const int max2 = matrix.row_max(q2);
+    for (std::uint8_t a = 0; a < 24; ++a) {
+      const int s0 = matrix.score(q0, a);
+      if (s0 + max1 + max2 < threshold) continue;
+      for (std::uint8_t b = 0; b < 24; ++b) {
+        const int s01 = s0 + matrix.score(q1, b);
+        if (s01 + max2 < threshold) continue;
+        for (std::uint8_t c = 0; c < 24; ++c) {
+          if (s01 + matrix.score(q2, c) < threshold) continue;
+          const std::uint32_t packed = (static_cast<std::uint32_t>(a) * 24u +
+                                        b) * 24u + c;
+          dense_[packed].push_back(static_cast<std::uint32_t>(pos));
+          ++total_entries_;
+        }
+      }
+    }
+  }
+}
+
+void WordIndex::build_dna(std::span<const std::uint8_t> query) {
+  const int w = word_size_;
+  const std::uint64_t mask = (1ULL << (2 * w)) - 1;
+  std::uint64_t packed = 0;
+  int valid = 0;  // consecutive non-N residues accumulated
+  for (std::size_t pos = 0; pos < query.size(); ++pos) {
+    const std::uint8_t code = query[pos];
+    if (code >= 4) {  // N or other ambiguity: restart the window
+      valid = 0;
+      packed = 0;
+      continue;
+    }
+    packed = ((packed << 2) | code) & mask;
+    if (++valid >= w) {
+      sparse_[packed].push_back(static_cast<std::uint32_t>(pos + 1 - static_cast<std::size_t>(w)));
+      ++total_entries_;
+    }
+  }
+}
+
+const PositionList* WordIndex::probe(const std::uint8_t* word) const {
+  if (!is_dna_) {
+    if (dense_.empty()) return nullptr;
+    const PositionList& list = dense_[pack_protein(word)];
+    return list.empty() ? nullptr : &list;
+  }
+  std::uint64_t packed = 0;
+  for (int i = 0; i < word_size_; ++i) {
+    if (word[i] >= 4) return nullptr;  // word contains N
+    packed = (packed << 2) | word[i];
+  }
+  const auto it = sparse_.find(packed);
+  return it == sparse_.end() ? nullptr : &it->second;
+}
+
+std::size_t WordIndex::distinct_words() const {
+  if (is_dna_) return sparse_.size();
+  std::size_t count = 0;
+  for (const auto& list : dense_)
+    if (!list.empty()) ++count;
+  return count;
+}
+
+}  // namespace pioblast::blast

@@ -1,0 +1,43 @@
+#include "blast/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pioblast::blast {
+
+std::uint64_t length_adjustment(const KarlinParams& kp, std::uint64_t query_len,
+                                const GlobalDbStats& db) {
+  PIOBLAST_CHECK(kp.H > 0);
+  const double m = static_cast<double>(std::max<std::uint64_t>(query_len, 1));
+  const double n = static_cast<double>(std::max<std::uint64_t>(db.total_residues, 1));
+  const double ns = static_cast<double>(std::max<std::uint64_t>(db.num_seqs, 1));
+  // Fixed-point iteration of l = ln(K (m-l)(n - ns*l)) / H, five rounds as
+  // in the classic NCBI implementation; clamp to keep lengths positive.
+  double l = 0.0;
+  for (int iter = 0; iter < 5; ++iter) {
+    const double me = std::max(m - l, 1.0);
+    const double ne = std::max(n - ns * l, ns);
+    const double arg = std::max(kp.K * me * ne, 1.0 + 1e-9);
+    l = std::log(arg) / kp.H;
+  }
+  l = std::max(0.0, std::min(l, m - 1.0));
+  return static_cast<std::uint64_t>(l);
+}
+
+double bit_score(const KarlinParams& kp, int raw_score) {
+  return (kp.lambda * raw_score - std::log(kp.K)) / std::log(2.0);
+}
+
+double evalue(const KarlinParams& kp, int raw_score, std::uint64_t query_len,
+              const GlobalDbStats& db, std::uint64_t adjust) {
+  const double m_eff =
+      static_cast<double>(std::max<std::uint64_t>(query_len - adjust, 1));
+  const std::uint64_t db_adjust = db.num_seqs * adjust;
+  const double n_eff = static_cast<double>(
+      db.total_residues > db_adjust ? db.total_residues - db_adjust : 1);
+  return kp.K * m_eff * n_eff * std::exp(-kp.lambda * raw_score);
+}
+
+}  // namespace pioblast::blast

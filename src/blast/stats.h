@@ -1,0 +1,37 @@
+// Karlin–Altschul statistics: bit scores, E-values, effective lengths.
+//
+// E-values are always computed against the *global* database statistics
+// (total residues and sequence count of the whole database), never the
+// fragment a worker happens to hold — exactly what mpiBLAST does so that
+// database segmentation does not change reported statistics. This is also
+// what makes our merged output invariant to the number of fragments, a
+// property the integration tests assert.
+#pragma once
+
+#include <cstdint>
+
+#include "blast/scoring.h"
+
+namespace pioblast::blast {
+
+/// Statistics of the whole database, distributed to every worker.
+struct GlobalDbStats {
+  std::uint64_t total_residues = 0;
+  std::uint64_t num_seqs = 0;
+};
+
+/// Length adjustment ("expected HSP length" correction): the classic
+/// iterated ln(K m n) / H formula, clamped so effective lengths stay
+/// positive.
+std::uint64_t length_adjustment(const KarlinParams& kp, std::uint64_t query_len,
+                                const GlobalDbStats& db);
+
+/// Bit score: (lambda * raw - ln K) / ln 2.
+double bit_score(const KarlinParams& kp, int raw_score);
+
+/// E-value of a raw score for a query of `query_len` against `db`,
+/// using pre-computed length adjustment `adjust`.
+double evalue(const KarlinParams& kp, int raw_score, std::uint64_t query_len,
+              const GlobalDbStats& db, std::uint64_t adjust);
+
+}  // namespace pioblast::blast

@@ -1,0 +1,51 @@
+// The mpiBLAST baseline driver (modeled on mpiBLAST 1.2.1).
+//
+// Reproduces the data-handling structure the paper measures and improves:
+//
+//   * the database is statically pre-partitioned into physical fragments
+//     by mpiformatdb (done before the run; see seqdb/partition.h);
+//   * a master greedily assigns un-searched fragments to workers on
+//     request; workers *copy* their fragments from shared storage to
+//     node-local disks (or, on clusters without local disks, to shared job
+//     scratch) before searching;
+//   * fragment I/O during the search is charged inside the search phase
+//     (NCBI BLAST inputs the database through memory-mapped files, so
+//     mpiBLAST's search time "embeds a certain amount of I/O");
+//   * result merging is serialized at the master: workers submit their
+//     full local result alignments, the master sorts globally, then — for
+//     every alignment selected for output — makes a synchronous
+//     per-alignment fetch round trip to the owning worker for the sequence
+//     data, formats the text itself, and writes the single output file
+//     serially (paper Figure 2, right).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blast/driver.h"
+#include "mpisim/trace.h"
+#include "blast/job.h"
+#include "pario/env.h"
+#include "seqdb/partition.h"
+#include "sim/cluster.h"
+
+namespace pioblast::mpiblast {
+
+/// Inputs the baseline needs beyond the job itself: the physical fragments
+/// produced by mpiformatdb and the global index (for database statistics).
+struct MpiBlastOptions {
+  blast::JobConfig job;
+  /// Optional event tracer (not owned; must outlive the run).
+  mpisim::Tracer* tracer = nullptr;
+  std::vector<std::string> fragment_bases;  ///< mpiformatdb outputs, in order
+  std::vector<seqdb::SeqRange> fragment_ranges;
+  seqdb::DbIndex global_index;
+};
+
+/// Runs mpiBLAST with `nprocs` simulated processes (1 master + workers).
+/// The output file is written to job.output_path on storage.shared().
+blast::DriverResult run_mpiblast(const sim::ClusterConfig& cluster, int nprocs,
+                                 pario::ClusterStorage& storage,
+                                 const MpiBlastOptions& opts);
+
+}  // namespace pioblast::mpiblast

@@ -1,0 +1,79 @@
+#include "mpisim/mailbox.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace pioblast::mpisim {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::find_match(int src, int tag) const {
+  std::size_t best = kNpos;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Message& m = queue_[i];
+    if (m.tag != tag) continue;
+    if (src != kAnySource) {
+      // Point-to-point matching preserves per-sender FIFO order: take the
+      // first queued message from that sender with this tag.
+      if (m.src == src) return i;
+      continue;
+    }
+    // Wildcard: earliest virtual arrival wins; ties broken by sender rank
+    // so the choice is stable.
+    if (best == kNpos || m.arrival < queue_[best].arrival ||
+        (m.arrival == queue_[best].arrival && m.src < queue_[best].src)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Message Mailbox::pop(int src, int tag) {
+  std::unique_lock lock(mu_);
+  std::size_t idx = kNpos;
+  cv_.wait(lock, [&] {
+    return poisoned_ || (idx = find_match(src, tag)) != kNpos;
+  });
+  if (idx == kNpos) {
+    // Poisoned with no matching message: unwind this rank.
+    throw util::RuntimeError("mpisim: receive aborted (job poisoned)");
+  }
+  Message msg = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return msg;
+}
+
+void Mailbox::poison() {
+  {
+    std::lock_guard lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::try_pop(int src, int tag) {
+  std::lock_guard lock(mu_);
+  const std::size_t idx = find_match(src, tag);
+  if (idx == kNpos) return std::nullopt;
+  Message msg = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return msg;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace pioblast::mpisim

@@ -1,0 +1,50 @@
+// Per-rank thread-safe mailbox with (source, tag) matching.
+//
+// Receives block the host thread until a matching message exists, which is
+// how the simulated ranks synchronize for real; virtual-time ordering is
+// layered on top by Process (receiver clocks max-merge with arrivals).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mpisim/message.h"
+
+namespace pioblast::mpisim {
+
+class Mailbox {
+ public:
+  /// Enqueues a delivered message and wakes any blocked receiver.
+  void push(Message msg);
+
+  /// Blocks until a message matching (src, tag) is available and removes it.
+  /// `src == kAnySource` matches any sender; among the currently pending
+  /// matches the one with the smallest virtual arrival time is chosen
+  /// (ties broken by sender rank), approximating earliest-message-first
+  /// scheduling for dynamic work distribution.
+  Message pop(int src, int tag);
+
+  /// Non-blocking variant; returns nullopt when nothing matches.
+  std::optional<Message> try_pop(int src, int tag);
+
+  /// Number of currently queued messages (diagnostics/tests).
+  std::size_t pending() const;
+
+  /// Marks the mailbox as poisoned: current and future blocking pops with
+  /// no matching message throw RuntimeError. Used to unwind all rank
+  /// threads when one rank fails.
+  void poison();
+
+ private:
+  /// Index of best match in queue_, or npos. Caller holds the lock.
+  std::size_t find_match(int src, int tag) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+};
+
+}  // namespace pioblast::mpisim

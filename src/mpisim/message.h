@@ -1,0 +1,26 @@
+// Message representation for the simulated message-passing runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pioblast::mpisim {
+
+/// Wildcard source rank for receives (analogue of MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+
+/// One in-flight or delivered message. `arrival` is the virtual time at
+/// which the message becomes visible to the receiver (sender completion
+/// plus wire latency); the receiver's clock is max-merged with it.
+struct Message {
+  int src = -1;
+  int tag = 0;
+  sim::Time arrival = 0.0;
+  std::vector<std::uint8_t> payload;
+
+  std::uint64_t size() const { return payload.size(); }
+};
+
+}  // namespace pioblast::mpisim

@@ -1,0 +1,153 @@
+#include "mpisim/process.h"
+
+#include <algorithm>
+
+namespace pioblast::mpisim {
+
+Process::Process(int rank, World& world) : rank_(rank), world_(world) {
+  PIOBLAST_CHECK(rank >= 0 && rank < world.size());
+}
+
+void Process::accrue_phase() {
+  phases_.add(current_phase_, clock_.now() - phase_mark_);
+  phase_mark_ = clock_.now();
+}
+
+void Process::compute(sim::Time seconds) {
+  // Heterogeneous machines: a half-speed node takes twice as long for the
+  // same nominal work (sim::ClusterConfig::node_speed).
+  clock_.advance(seconds / cluster().speed_of(rank_));
+}
+
+void Process::io_wait(sim::Time seconds) { clock_.advance(seconds); }
+
+void Process::sync_to(sim::Time t) { clock_.advance_to(t); }
+
+void Process::set_phase(const std::string& name) {
+  accrue_phase();
+  current_phase_ = name;
+  if (Tracer* t = world_.tracer())
+    t->record(rank_, clock_.now(), TraceKind::kPhase, name);
+}
+
+void Process::mark(const std::string& detail) {
+  if (Tracer* t = world_.tracer())
+    t->record(rank_, clock_.now(), TraceKind::kMark, detail);
+}
+
+util::PhaseTimer& Process::phases() {
+  accrue_phase();
+  return phases_;
+}
+
+void Process::send(int dst, int tag, std::span<const std::uint8_t> data) {
+  PIOBLAST_CHECK_MSG(dst >= 0 && dst < size(), "send to invalid rank " << dst);
+  PIOBLAST_CHECK_MSG(dst != rank_, "send to self is not supported");
+  const auto& net = cluster().network;
+  clock_.advance(net.send_cost(data.size()));
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.arrival = clock_.now() + net.wire_latency();
+  msg.payload.assign(data.begin(), data.end());
+  bytes_sent_ += data.size();
+  ++messages_sent_;
+  if (Tracer* t = world_.tracer()) {
+    t->record(rank_, clock_.now(), TraceKind::kSend,
+              "dst=" + std::to_string(dst) + " tag=" + std::to_string(tag) +
+                  " bytes=" + std::to_string(data.size()));
+  }
+  world_.mailbox(dst).push(std::move(msg));
+}
+
+Message Process::recv(int src, int tag) {
+  Message msg = world_.mailbox(rank_).pop(src, tag);
+  clock_.advance_to(msg.arrival);
+  clock_.advance(cluster().network.recv_cost(msg.size()));
+  if (Tracer* t = world_.tracer()) {
+    t->record(rank_, clock_.now(), TraceKind::kRecv,
+              "src=" + std::to_string(msg.src) + " tag=" + std::to_string(tag) +
+                  " bytes=" + std::to_string(msg.size()));
+  }
+  return msg;
+}
+
+void Process::barrier() {
+  // Flat barrier through rank 0: every rank reports in, rank 0 releases.
+  // Clocks converge to rank 0's post-collection time plus the release hop,
+  // so a barrier also acts as a virtual-clock synchronization point.
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) recv(r, kTagBarrierUp);
+    for (int r = 1; r < size(); ++r) send(r, kTagBarrierDown, {});
+  } else {
+    send(0, kTagBarrierUp, {});
+    recv(0, kTagBarrierDown);
+  }
+}
+
+void Process::bcast(std::vector<std::uint8_t>& data, int root) {
+  PIOBLAST_CHECK(root >= 0 && root < size());
+  // Binomial tree rooted at `root`, ranks renumbered relative to it.
+  // A non-root rank `rel` receives from parent `rel - m` in round
+  // log2(m), where m is the highest power of two not exceeding rel, then
+  // forwards to `rel + mask` in every later round while that child exists.
+  const int p = size();
+  const int rel = (rank_ - root + p) % p;
+  int first_send_mask = 1;
+  if (rel != 0) {
+    int m = 1;
+    while (m * 2 <= rel) m <<= 1;
+    const int parent = (rel - m + root) % p;
+    Message msg = recv(parent, kTagBcast);
+    data = std::move(msg.payload);
+    first_send_mask = m << 1;
+  }
+  for (int mask = first_send_mask; mask < p; mask <<= 1) {
+    const int target_rel = rel + mask;
+    if (rel < mask && target_rel < p) {
+      send((target_rel + root) % p, kTagBcast, data);
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> Process::gather(
+    std::span<const std::uint8_t> data, int root) {
+  PIOBLAST_CHECK(root >= 0 && root < size());
+  std::vector<std::vector<std::uint8_t>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank_)].assign(data.begin(), data.end());
+    // Flat collection in rank order: the root's clock serializes the
+    // per-message receive costs, reproducing real master-side incast.
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      Message m = recv(r, kTagGather);
+      out[static_cast<std::size_t>(r)] = std::move(m.payload);
+    }
+  } else {
+    send(root, kTagGather, data);
+  }
+  return out;
+}
+
+sim::Time Process::allreduce_max(sim::Time value) {
+  // Reduce to rank 0, then broadcast the result.
+  if (rank_ == 0) {
+    sim::Time best = value;
+    for (int r = 1; r < size(); ++r)
+      best = std::max(best, recv_value<sim::Time>(r, kTagReduce));
+    std::vector<std::uint8_t> buf(sizeof(best));
+    std::memcpy(buf.data(), &best, sizeof(best));
+    bcast(buf, 0);
+    return best;
+  }
+  send_value(0, kTagReduce, value);
+  std::vector<std::uint8_t> buf;
+  bcast(buf, 0);
+  PIOBLAST_CHECK(buf.size() == sizeof(sim::Time));
+  sim::Time best;
+  std::memcpy(&best, buf.data(), sizeof(best));
+  return best;
+}
+
+}  // namespace pioblast::mpisim

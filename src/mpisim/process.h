@@ -1,0 +1,142 @@
+// Per-rank execution context: the API rank code programs against.
+//
+// A Process wraps the rank's virtual clock, phase accounting, and the
+// message-passing primitives. Costs follow the LogGP-style network model of
+// the cluster the world was created with:
+//
+//   send:  sender clock += o_s + n/B;   arrival = sender clock + L
+//   recv:  receiver clock = max(receiver clock, arrival) + o_r + n/B_copy
+//
+// Collectives are implemented on top of these primitives (flat gather at the
+// root — which faithfully reproduces master incast serialization — and a
+// binomial tree for broadcast). All ranks of a job must call collectives in
+// the same order, as in MPI.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpisim/message.h"
+#include "mpisim/world.h"
+#include "sim/time.h"
+#include "util/phase_timer.h"
+
+namespace pioblast::mpisim {
+
+class Process {
+ public:
+  Process(int rank, World& world);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return world_.size(); }
+  bool is_root() const { return rank_ == 0; }
+  World& world() { return world_; }
+  const sim::ClusterConfig& cluster() const { return world_.cluster(); }
+  const sim::CostModel& cost() const { return world_.cluster().cost; }
+
+  // ---- virtual time -----------------------------------------------------
+
+  sim::Time now() const { return clock_.now(); }
+
+  /// Charges `seconds` of nominal CPU work; on a slow node (see
+  /// sim::ClusterConfig::node_speed) the clock advances proportionally
+  /// more.
+  void compute(sim::Time seconds);
+
+  /// Charges `seconds` of device wait (file I/O): independent of the
+  /// node's CPU speed.
+  void io_wait(sim::Time seconds);
+
+  /// Jumps the clock forward to `t` (never backwards).
+  void sync_to(sim::Time t);
+
+  // ---- phases -----------------------------------------------------------
+
+  /// Attributes subsequent virtual time to phase `name` until the next call.
+  void set_phase(const std::string& name);
+
+  /// Records a driver-defined annotation in the attached tracer (no-op
+  /// when tracing is off).
+  void mark(const std::string& detail);
+
+  /// Flushes pending time into the current phase and returns the buckets.
+  util::PhaseTimer& phases();
+
+  // ---- point-to-point ----------------------------------------------------
+
+  /// Sends `data` to rank `dst` with `tag`; charges injection cost.
+  void send(int dst, int tag, std::span<const std::uint8_t> data);
+
+  /// Blocking receive; `src` may be kAnySource. Charges receive cost and
+  /// max-merges the clock with the message's virtual arrival time.
+  Message recv(int src, int tag);
+
+  /// Sends a trivially-copyable value.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send_value(int dst, int tag, const T& value) {
+    send(dst, tag,
+         std::span(reinterpret_cast<const std::uint8_t*>(&value), sizeof(T)));
+  }
+
+  /// Receives a trivially-copyable value from `src`.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T recv_value(int src, int tag) {
+    Message m = recv(src, tag);
+    PIOBLAST_CHECK_MSG(m.payload.size() == sizeof(T),
+                       "typed recv size mismatch: got " << m.payload.size()
+                                                        << ", want " << sizeof(T));
+    T value;
+    std::memcpy(&value, m.payload.data(), sizeof(T));
+    return value;
+  }
+
+  // ---- collectives (flat/binomial over p2p) ------------------------------
+
+  /// Synchronizes all ranks; clocks converge to the barrier completion time.
+  void barrier();
+
+  /// Broadcasts root's buffer to every rank via a binomial tree.
+  void bcast(std::vector<std::uint8_t>& data, int root);
+
+  /// Gathers every rank's buffer at `root` (rank-ordered). Non-roots get {}.
+  std::vector<std::vector<std::uint8_t>> gather(std::span<const std::uint8_t> data,
+                                                int root);
+
+  /// All ranks learn the maximum of `value` (barrier-like clock sync).
+  sim::Time allreduce_max(sim::Time value);
+
+  // ---- accounting ---------------------------------------------------------
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  int rank_;
+  World& world_;
+  sim::Clock clock_;
+  util::PhaseTimer phases_;
+  std::string current_phase_ = "other";
+  sim::Time phase_mark_ = 0.0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+
+  /// Internal tag space for collectives (drivers must use tags below this).
+  static constexpr int kInternalTagBase = 1 << 24;
+  static constexpr int kTagBarrierUp = kInternalTagBase + 0;
+  static constexpr int kTagBarrierDown = kInternalTagBase + 1;
+  static constexpr int kTagBcast = kInternalTagBase + 2;
+  static constexpr int kTagGather = kInternalTagBase + 3;
+  static constexpr int kTagReduce = kInternalTagBase + 4;
+
+  void accrue_phase();
+};
+
+}  // namespace pioblast::mpisim

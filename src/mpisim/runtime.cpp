@@ -1,0 +1,68 @@
+#include "mpisim/runtime.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "mpisim/world.h"
+
+namespace pioblast::mpisim {
+
+sim::Time RunReport::makespan() const {
+  sim::Time t = 0;
+  for (const auto& r : ranks) t = std::max(t, r.final_clock);
+  return t;
+}
+
+sim::Time RunReport::phase_total(const std::string& phase) const {
+  sim::Time t = 0;
+  for (const auto& r : ranks) t += r.phases.get(phase);
+  return t;
+}
+
+sim::Time RunReport::phase_of(int rank, const std::string& phase) const {
+  for (const auto& r : ranks)
+    if (r.rank == rank) return r.phases.get(phase);
+  return 0.0;
+}
+
+RunReport run(int nranks, const sim::ClusterConfig& cluster,
+              const std::function<void(Process&)>& rank_fn, Tracer* tracer) {
+  PIOBLAST_CHECK(nranks >= 1);
+  World world(nranks, cluster);
+  world.set_tracer(tracer);
+  RunReport report;
+  report.ranks.resize(static_cast<std::size_t>(nranks));
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto body = [&](int rank) {
+    Process proc(rank, world);
+    try {
+      rank_fn(proc);
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      world.abort();
+    }
+    auto& rr = report.ranks[static_cast<std::size_t>(rank)];
+    rr.rank = rank;
+    rr.phases = proc.phases();  // flushes the open phase
+    rr.final_clock = proc.now();
+    rr.bytes_sent = proc.bytes_sent();
+    rr.messages_sent = proc.messages_sent();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) threads.emplace_back(body, r);
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return report;
+}
+
+}  // namespace pioblast::mpisim

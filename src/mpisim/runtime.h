@@ -1,0 +1,52 @@
+// Job launcher: runs a rank function on N host threads sharing one World.
+//
+// This is the simulated analogue of `mpirun -np N`: each rank executes the
+// same function with its own Process context; the runtime collects final
+// clocks and phase buckets into a RunReport. If any rank throws, the job is
+// poisoned (all blocked receives unwind) and the first exception is
+// rethrown to the caller.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpisim/process.h"
+#include "sim/cluster.h"
+#include "util/phase_timer.h"
+
+namespace pioblast::mpisim {
+
+/// Per-rank results collected after the rank function returns.
+struct RankReport {
+  int rank = 0;
+  sim::Time final_clock = 0.0;
+  util::PhaseTimer phases;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_sent = 0;
+};
+
+/// Whole-job results.
+struct RunReport {
+  std::vector<RankReport> ranks;
+
+  /// Job completion time: the latest rank clock (all drivers end with a
+  /// barrier, so in practice every rank finishes at the makespan).
+  sim::Time makespan() const;
+
+  /// Sum of a phase bucket over all ranks.
+  sim::Time phase_total(const std::string& phase) const;
+
+  /// Phase bucket of one rank.
+  sim::Time phase_of(int rank, const std::string& phase) const;
+};
+
+/// Runs `rank_fn` on `nranks` simulated processes over `cluster`.
+/// Blocks until every rank finishes; rethrows the first rank exception.
+/// When `tracer` is non-null, every rank records phase/message events
+/// into it (see trace.h).
+RunReport run(int nranks, const sim::ClusterConfig& cluster,
+              const std::function<void(Process&)>& rank_fn,
+              Tracer* tracer = nullptr);
+
+}  // namespace pioblast::mpisim

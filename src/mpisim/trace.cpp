@@ -1,0 +1,89 @@
+#include "mpisim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace pioblast::mpisim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPhase:
+      return "PHASE";
+    case TraceKind::kSend:
+      return "SEND";
+    case TraceKind::kRecv:
+      return "RECV";
+    case TraceKind::kCompute:
+      return "COMP";
+    case TraceKind::kIo:
+      return "IO";
+    case TraceKind::kMark:
+      return "MARK";
+  }
+  return "?";
+}
+
+void Tracer::record(int rank, sim::Time time, TraceKind kind, std::string detail) {
+  std::lock_guard lock(mu_);
+  events_.push_back({rank, time, kind, std::move(detail)});
+}
+
+std::vector<TraceEvent> Tracer::sorted() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard lock(mu_);
+    out = events_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.rank < b.rank;
+                   });
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void Tracer::render(std::ostream& os, std::size_t max_events) const {
+  const auto events = sorted();
+  char buf[64];
+  std::size_t shown = 0;
+  for (const TraceEvent& e : events) {
+    if (shown++ >= max_events) {
+      os << "... (" << events.size() - max_events << " more events)\n";
+      break;
+    }
+    std::snprintf(buf, sizeof buf, "[%12.6fs] r%-3d %-5s ", e.time, e.rank,
+                  to_string(e.kind));
+    os << buf << e.detail << '\n';
+  }
+}
+
+std::vector<TraceEvent> Tracer::for_rank(int rank) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : sorted())
+    if (e.rank == rank) out.push_back(e);
+  return out;
+}
+
+sim::Time Tracer::span() const {
+  sim::Time lo = 0, hi = 0;
+  bool first = true;
+  std::lock_guard lock(mu_);
+  for (const TraceEvent& e : events_) {
+    if (first) {
+      lo = hi = e.time;
+      first = false;
+    } else {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+  }
+  return hi - lo;
+}
+
+}  // namespace pioblast::mpisim

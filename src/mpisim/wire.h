@@ -1,0 +1,114 @@
+// Wire (de)serialization for structured messages.
+//
+// The drivers exchange typed records (fragment assignments, candidate-hit
+// metadata, output offsets). Encoder/Decoder implement a simple
+// little-endian byte-stream format; everything that crosses a simulated
+// message or file boundary goes through here so message *sizes* are real
+// and the cost models see honest byte counts.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pioblast::mpisim {
+
+/// Appends plain-old-data values, strings, and vectors to a byte buffer.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Encoder& put(const T& value) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+    buf_.insert(buf_.end(), bytes, bytes + sizeof(T));
+    return *this;
+  }
+
+  Encoder& put_string(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+    return *this;
+  }
+
+  Encoder& put_bytes(std::span<const std::uint8_t> data) {
+    put<std::uint64_t>(data.size());
+    buf_.insert(buf_.end(), data.begin(), data.end());
+    return *this;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Encoder& put_vector(const std::vector<T>& v) {
+    put<std::uint64_t>(v.size());
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), bytes, bytes + v.size() * sizeof(T));
+    return *this;
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads values back in the order they were encoded.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    PIOBLAST_CHECK_MSG(pos_ + sizeof(T) <= data_.size(), "decode past end");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint64_t>();
+    PIOBLAST_CHECK_MSG(pos_ + n <= data_.size(), "decode past end");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::uint8_t> get_bytes() {
+    const auto n = get<std::uint64_t>();
+    PIOBLAST_CHECK_MSG(pos_ + n <= data_.size(), "decode past end");
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector() {
+    const auto n = get<std::uint64_t>();
+    PIOBLAST_CHECK_MSG(pos_ + n * sizeof(T) <= data_.size(), "decode past end");
+    std::vector<T> out(n);
+    std::memcpy(out.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return out;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pioblast::mpisim

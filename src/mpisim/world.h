@@ -1,0 +1,60 @@
+// Shared state of one simulated parallel job.
+//
+// A World owns one mailbox per rank plus the cluster description. It is
+// created by the runtime (see runtime.h) and shared by every rank thread.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "mpisim/mailbox.h"
+#include "mpisim/trace.h"
+#include "sim/cluster.h"
+#include "util/error.h"
+
+namespace pioblast::mpisim {
+
+class World {
+ public:
+  World(int size, sim::ClusterConfig cluster)
+      : size_(size), cluster_(std::move(cluster)) {
+    PIOBLAST_CHECK(size >= 1);
+    mailboxes_.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return size_; }
+  const sim::ClusterConfig& cluster() const { return cluster_; }
+
+  Mailbox& mailbox(int rank) {
+    PIOBLAST_CHECK(rank >= 0 && rank < size_);
+    return *mailboxes_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Signals a fatal error: every blocked receive throws, unwinding all
+  /// rank threads so the runtime can report the original exception.
+  void abort() {
+    aborted_.store(true, std::memory_order_release);
+    for (auto& mb : mailboxes_) mb->poison();
+  }
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Attaches an event tracer (not owned; must outlive the run). Null
+  /// disables tracing.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+ private:
+  int size_;
+  sim::ClusterConfig cluster_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> aborted_{false};
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace pioblast::mpisim

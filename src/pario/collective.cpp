@@ -1,0 +1,281 @@
+#include "pario/collective.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "mpisim/wire.h"
+#include "util/error.h"
+
+namespace pioblast::pario {
+
+namespace {
+
+// Driver-visible tags start at 0; Process reserves tags >= 1<<24 for its
+// collectives; the pario collectives use a disjoint band above that.
+constexpr int kTagShuffle = (1 << 24) + 64;
+constexpr int kTagReadReq = (1 << 24) + 65;
+constexpr int kTagReadResp = (1 << 24) + 66;
+
+/// Computes aggregator file-domain boundaries [b0..bA] over the union of
+/// all ranks' regions. Executed via gather at rank 0 + broadcast so every
+/// rank pays realistic coordination cost.
+std::vector<std::uint64_t> agree_domains(mpisim::Process& p, const FileView& view,
+                                         int aggregators) {
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t hi = 0;
+  for (const Region& r : view.regions()) {
+    if (r.length == 0) continue;
+    lo = std::min(lo, r.offset);
+    hi = std::max(hi, r.offset + r.length);
+  }
+  mpisim::Encoder enc;
+  enc.put(lo).put(hi);
+  auto gathered = p.gather(enc.bytes(), /*root=*/0);
+
+  std::vector<std::uint8_t> boundary_buf;
+  if (p.rank() == 0) {
+    std::uint64_t glo = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t ghi = 0;
+    for (const auto& contrib : gathered) {
+      mpisim::Decoder dec(contrib);
+      glo = std::min(glo, dec.get<std::uint64_t>());
+      ghi = std::max(ghi, dec.get<std::uint64_t>());
+    }
+    if (glo > ghi) {  // nobody has data
+      glo = 0;
+      ghi = 0;
+    }
+    std::vector<std::uint64_t> bounds(static_cast<std::size_t>(aggregators) + 1);
+    const std::uint64_t span = ghi - glo;
+    for (int d = 0; d <= aggregators; ++d) {
+      bounds[static_cast<std::size_t>(d)] =
+          glo + span * static_cast<std::uint64_t>(d) /
+                   static_cast<std::uint64_t>(aggregators);
+    }
+    mpisim::Encoder benc;
+    benc.put_vector(bounds);
+    boundary_buf = benc.take();
+  }
+  p.bcast(boundary_buf, /*root=*/0);
+  mpisim::Decoder dec(boundary_buf);
+  return dec.get_vector<std::uint64_t>();
+}
+
+/// Domain index owning file offset `off` (clamped to the last domain).
+std::size_t domain_of(const std::vector<std::uint64_t>& bounds, std::uint64_t off) {
+  // bounds is non-decreasing with bounds.size() == A+1.
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), off);
+  const auto idx = static_cast<std::size_t>(it - bounds.begin());
+  const std::size_t ndomains = bounds.size() - 1;
+  if (idx == 0) return 0;
+  return std::min(idx - 1, ndomains - 1);
+}
+
+}  // namespace
+
+FileView::FileView(std::vector<Region> regions) : regions_(std::move(regions)) {
+  for (std::size_t i = 1; i < regions_.size(); ++i) {
+    PIOBLAST_CHECK_MSG(
+        regions_[i].offset >= regions_[i - 1].offset + regions_[i - 1].length,
+        "file view regions must be sorted and disjoint");
+  }
+}
+
+std::uint64_t FileView::extent() const {
+  std::uint64_t total = 0;
+  for (const Region& r : regions_) total += r.length;
+  return total;
+}
+
+void FileView::append(Region r) {
+  if (!regions_.empty()) {
+    const Region& prev = regions_.back();
+    PIOBLAST_CHECK_MSG(r.offset >= prev.offset + prev.length,
+                       "file view regions must be appended in order");
+  }
+  regions_.push_back(r);
+}
+
+std::uint64_t collective_write(mpisim::Process& p, VirtualFS& fs,
+                               const std::string& path, const FileView& view,
+                               std::span<const std::uint8_t> data,
+                               const CollectiveConfig& cfg) {
+  PIOBLAST_CHECK_MSG(data.size() == view.extent(),
+                     "collective_write: buffer size " << data.size()
+                                                      << " != view extent "
+                                                      << view.extent());
+  const int nprocs = p.size();
+  const int naggs = std::max(1, std::min(cfg.aggregators, nprocs));
+
+  const auto bounds = agree_domains(p, view, naggs);
+
+  // ---- phase 1: split regions across aggregator file domains -------------
+  std::vector<mpisim::Encoder> batches(static_cast<std::size_t>(naggs));
+  std::uint64_t buf_pos = 0;
+  for (const Region& r : view.regions()) {
+    std::uint64_t off = r.offset;
+    std::uint64_t left = r.length;
+    while (left > 0) {
+      const std::size_t d = domain_of(bounds, off);
+      const std::uint64_t dom_end = bounds[d + 1];
+      // The last domain is closed on the right; others are half-open.
+      const std::uint64_t chunk =
+          (d + 1 == static_cast<std::size_t>(naggs) || dom_end <= off)
+              ? left
+              : std::min(left, dom_end - off);
+      batches[d].put<std::uint64_t>(off);
+      batches[d].put_bytes(data.subspan(buf_pos, chunk));
+      off += chunk;
+      buf_pos += chunk;
+      left -= chunk;
+    }
+  }
+
+  // Exchange: each rank sends one (possibly empty) batch to every
+  // aggregator; its own batch stays local at memory-copy cost.
+  std::vector<std::uint8_t> own_batch;
+  for (int d = 0; d < naggs; ++d) {
+    auto bytes = batches[static_cast<std::size_t>(d)].take();
+    if (d == p.rank()) {
+      p.compute(p.cost().memcpy_seconds(bytes.size()));
+      own_batch = std::move(bytes);
+    } else {
+      p.send(d, kTagShuffle, bytes);
+    }
+  }
+
+  // ---- phase 2: aggregators apply their file domains ---------------------
+  if (p.rank() < naggs) {
+    std::uint64_t domain_bytes = 0;
+    for (int r = 0; r < nprocs; ++r) {
+      std::vector<std::uint8_t> batch;
+      if (r == p.rank()) {
+        batch = std::move(own_batch);
+      } else {
+        batch = p.recv(r, kTagShuffle).payload;
+      }
+      mpisim::Decoder dec(batch);
+      while (!dec.exhausted()) {
+        const auto off = dec.get<std::uint64_t>();
+        const auto chunk = dec.get_bytes();
+        fs.pwrite(path, off, chunk);
+        domain_bytes += chunk.size();
+      }
+    }
+    // Large sequential write of the coalesced domain, concurrent with the
+    // other aggregators.
+    p.io_wait(fs.model().write_seconds(domain_bytes, naggs));
+  }
+
+  p.barrier();
+  return data.size();
+}
+
+std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& fs,
+                                          const std::string& path,
+                                          const FileView& view,
+                                          const CollectiveConfig& cfg) {
+  const int nprocs = p.size();
+  const int naggs = std::max(1, std::min(cfg.aggregators, nprocs));
+  const auto bounds = agree_domains(p, view, naggs);
+
+  // ---- build per-aggregator request lists --------------------------------
+  struct Want {
+    std::uint64_t file_off;
+    std::uint64_t buf_pos;
+    std::uint64_t len;
+  };
+  std::vector<std::vector<Want>> wants(static_cast<std::size_t>(naggs));
+  std::uint64_t buf_pos = 0;
+  for (const Region& r : view.regions()) {
+    std::uint64_t off = r.offset;
+    std::uint64_t left = r.length;
+    while (left > 0) {
+      const std::size_t d = domain_of(bounds, off);
+      const std::uint64_t dom_end = bounds[d + 1];
+      const std::uint64_t chunk =
+          (d + 1 == static_cast<std::size_t>(naggs) || dom_end <= off)
+              ? left
+              : std::min(left, dom_end - off);
+      wants[d].push_back({off, buf_pos, chunk});
+      off += chunk;
+      buf_pos += chunk;
+      left -= chunk;
+    }
+  }
+
+  std::vector<std::vector<Want>> local_requests(static_cast<std::size_t>(nprocs));
+  for (int d = 0; d < naggs; ++d) {
+    mpisim::Encoder enc;
+    for (const Want& w : wants[static_cast<std::size_t>(d)])
+      enc.put(w.file_off).put(w.buf_pos).put(w.len);
+    if (d == p.rank()) {
+      local_requests[static_cast<std::size_t>(d)] =
+          wants[static_cast<std::size_t>(d)];
+    } else {
+      p.send(d, kTagReadReq, enc.bytes());
+    }
+  }
+
+  std::vector<std::uint8_t> out(view.extent());
+
+  // ---- aggregators serve their domains ------------------------------------
+  if (p.rank() < naggs) {
+    std::uint64_t served = 0;
+    std::vector<std::pair<int, mpisim::Encoder>> responses;
+    for (int r = 0; r < nprocs; ++r) {
+      std::vector<Want> reqs;
+      if (r == p.rank()) {
+        reqs = std::move(local_requests[static_cast<std::size_t>(r)]);
+      } else {
+        const mpisim::Message msg = p.recv(r, kTagReadReq);
+        mpisim::Decoder dec(msg.payload);
+        while (!dec.exhausted()) {
+          Want w;
+          w.file_off = dec.get<std::uint64_t>();
+          w.buf_pos = dec.get<std::uint64_t>();
+          w.len = dec.get<std::uint64_t>();
+          reqs.push_back(w);
+        }
+      }
+      mpisim::Encoder resp;
+      for (const Want& w : reqs) {
+        auto bytes = fs.pread(path, w.file_off, w.len);
+        served += w.len;
+        if (r == p.rank()) {
+          std::memcpy(out.data() + w.buf_pos, bytes.data(), bytes.size());
+        } else {
+          resp.put(w.buf_pos).put_bytes(bytes);
+        }
+      }
+      if (r != p.rank()) responses.emplace_back(r, std::move(resp));
+    }
+    // One large concurrent read of the domain, then fan the data out.
+    p.io_wait(fs.model().read_seconds(served, naggs));
+    for (auto& [r, resp] : responses) p.send(r, kTagReadResp, resp.bytes());
+  }
+
+  // ---- requesters assemble their buffers ----------------------------------
+  for (int d = 0; d < naggs; ++d) {
+    if (d == p.rank()) continue;
+    const mpisim::Message msg = p.recv(d, kTagReadResp);
+    mpisim::Decoder dec(msg.payload);
+    if (wants[static_cast<std::size_t>(d)].empty()) {
+      // The (empty) response still had to be drained to keep the exchange
+      // balanced.
+      PIOBLAST_CHECK(dec.exhausted());
+      continue;
+    }
+    while (!dec.exhausted()) {
+      const auto pos = dec.get<std::uint64_t>();
+      const auto bytes = dec.get_bytes();
+      std::memcpy(out.data() + pos, bytes.data(), bytes.size());
+    }
+  }
+
+  p.barrier();
+  return out;
+}
+
+}  // namespace pioblast::pario

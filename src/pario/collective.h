@@ -1,0 +1,80 @@
+// Collective I/O with file views (the MPI-IO `MPI_File_set_view` +
+// `MPI_File_write_all` analogue), implemented as genuine two-phase I/O.
+//
+// pioBLAST's parallel output (paper §3.3) builds an MPI file view over the
+// shared output file — each worker owns a set of non-contiguous
+// (offset, length) regions — and issues one collective write. The MPI-IO
+// library then shuffles data among aggregator processes so that each
+// aggregator holds a contiguous file domain, and issues large sequential
+// writes. We implement exactly that:
+//
+//   phase 1 (shuffle):  every rank splits its regions across the aggregators'
+//                       file domains and sends each aggregator one batch
+//                       message (real data movement, charged by the network
+//                       model);
+//   phase 2 (write):    each aggregator coalesces its batch into runs and
+//                       writes them, charged at the device's concurrent
+//                       bandwidth; a closing barrier completes the
+//                       collective and synchronizes clocks.
+//
+// The same machinery provides collective reads (used by the optional
+// collective-input extension).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpisim/process.h"
+#include "pario/vfs.h"
+
+namespace pioblast::pario {
+
+/// One contiguous piece of a file view.
+struct Region {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+/// A rank's window onto a shared file: an ordered list of disjoint regions.
+/// The concatenation of the regions (in order) maps to the rank's linear
+/// data buffer, exactly like an MPI file view built from an indexed type.
+class FileView {
+ public:
+  FileView() = default;
+  explicit FileView(std::vector<Region> regions);
+
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Sum of region lengths == required data buffer size.
+  std::uint64_t extent() const;
+
+  /// Appends a region; must start at or after the end of the previous one.
+  void append(Region r);
+
+ private:
+  std::vector<Region> regions_;
+};
+
+/// Tuning knobs for the two-phase exchange.
+struct CollectiveConfig {
+  int aggregators = 4;  ///< number of aggregator ranks (cb_nodes in ROMIO)
+};
+
+/// Collectively writes each rank's `data` through its `view` into `path` on
+/// `fs`. Every rank of the job must call this (empty views are fine).
+/// Returns the number of bytes this rank contributed.
+std::uint64_t collective_write(mpisim::Process& p, VirtualFS& fs,
+                               const std::string& path, const FileView& view,
+                               std::span<const std::uint8_t> data,
+                               const CollectiveConfig& cfg = {});
+
+/// Collectively reads each rank's `view` from `path`; the regions'
+/// concatenated bytes are returned in view order. Every rank must call.
+std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& fs,
+                                          const std::string& path,
+                                          const FileView& view,
+                                          const CollectiveConfig& cfg = {});
+
+}  // namespace pioblast::pario

@@ -1,0 +1,50 @@
+// Cluster storage environment: the file systems a simulated job sees.
+//
+// One shared file system (holding the formatted database, query file, and
+// the output file) plus, when the cluster has node-local disks, one private
+// file system per rank (mpiBLAST's fragment copy target). On clusters
+// without local disks (the ORNL Altix), `local_for` returns the shared
+// scratch instead — exactly the fallback the paper describes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pario/vfs.h"
+#include "sim/cluster.h"
+#include "util/error.h"
+
+namespace pioblast::pario {
+
+class ClusterStorage {
+ public:
+  ClusterStorage(const sim::ClusterConfig& cluster, int nranks)
+      : shared_(cluster.shared_storage) {
+    PIOBLAST_CHECK(nranks >= 1);
+    if (cluster.has_local_disks()) {
+      locals_.reserve(static_cast<std::size_t>(nranks));
+      for (int r = 0; r < nranks; ++r)
+        locals_.push_back(std::make_unique<VirtualFS>(*cluster.local_disks));
+    }
+  }
+
+  VirtualFS& shared() { return shared_; }
+  const VirtualFS& shared() const { return shared_; }
+
+  bool has_local_disks() const { return !locals_.empty(); }
+
+  /// Rank-private scratch: the node's local disk when present, otherwise
+  /// the shared file system (Altix-style shared job scratch).
+  VirtualFS& local_for(int rank) {
+    if (locals_.empty()) return shared_;
+    PIOBLAST_CHECK(rank >= 0 &&
+                   rank < static_cast<int>(locals_.size()));
+    return *locals_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  VirtualFS shared_;
+  std::vector<std::unique_ptr<VirtualFS>> locals_;
+};
+
+}  // namespace pioblast::pario

@@ -1,0 +1,36 @@
+#include "pario/file.h"
+
+namespace pioblast::pario {
+
+std::vector<std::uint8_t> timed_read(mpisim::Process& p, const VirtualFS& fs,
+                                     const std::string& path, std::uint64_t offset,
+                                     std::uint64_t len, int concurrency) {
+  p.io_wait(fs.model().read_seconds(len, concurrency));
+  return fs.pread(path, offset, len);
+}
+
+std::vector<std::uint8_t> timed_read_all(mpisim::Process& p, const VirtualFS& fs,
+                                         const std::string& path, int concurrency) {
+  const std::uint64_t len = fs.size(path);
+  p.io_wait(fs.model().read_seconds(len, concurrency));
+  return fs.read_all(path);
+}
+
+void timed_write(mpisim::Process& p, VirtualFS& fs, const std::string& path,
+                 std::uint64_t offset, std::span<const std::uint8_t> data,
+                 int concurrency) {
+  p.io_wait(fs.model().write_seconds(data.size(), concurrency));
+  fs.pwrite(path, offset, data);
+}
+
+void timed_copy(mpisim::Process& p, const VirtualFS& src_fs,
+                const std::string& src_path, VirtualFS& dst_fs,
+                const std::string& dst_path, int concurrency) {
+  const std::uint64_t len = src_fs.size(src_path);
+  p.io_wait(src_fs.model().read_seconds(len, concurrency));
+  auto data = src_fs.read_all(src_path);
+  p.io_wait(dst_fs.model().write_seconds(len, concurrency));
+  dst_fs.write_all(dst_path, data);
+}
+
+}  // namespace pioblast::pario

@@ -1,0 +1,42 @@
+// Timed individual file I/O (the MPI-IO "individual interface" analogue).
+//
+// These wrappers move real bytes through a VirtualFS while charging the
+// calling rank's virtual clock from the file system's StorageModel. The
+// `concurrency` hint tells the model how many clients are streaming the
+// device at once; drivers know this from protocol structure (e.g. "all W
+// workers read their partitions simultaneously in the input stage").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpisim/process.h"
+#include "pario/vfs.h"
+
+namespace pioblast::pario {
+
+/// Reads [offset, offset+len) from `path`, charging `p`'s clock.
+std::vector<std::uint8_t> timed_read(mpisim::Process& p, const VirtualFS& fs,
+                                     const std::string& path, std::uint64_t offset,
+                                     std::uint64_t len, int concurrency = 1);
+
+/// Reads a whole file, charging `p`'s clock.
+std::vector<std::uint8_t> timed_read_all(mpisim::Process& p, const VirtualFS& fs,
+                                         const std::string& path,
+                                         int concurrency = 1);
+
+/// Writes `data` at `offset`, charging `p`'s clock.
+void timed_write(mpisim::Process& p, VirtualFS& fs, const std::string& path,
+                 std::uint64_t offset, std::span<const std::uint8_t> data,
+                 int concurrency = 1);
+
+/// Copies a file between (possibly different) file systems — e.g. the
+/// mpiBLAST fragment copy stage from shared storage to a local disk. The
+/// clock is charged for the read on `src_fs` and the write on `dst_fs`.
+void timed_copy(mpisim::Process& p, const VirtualFS& src_fs,
+                const std::string& src_path, VirtualFS& dst_fs,
+                const std::string& dst_path, int concurrency = 1);
+
+}  // namespace pioblast::pario

@@ -1,0 +1,101 @@
+#include "pario/vfs.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pioblast::pario {
+
+void VirtualFS::create(const std::string& path) {
+  std::lock_guard lock(mu_);
+  auto& slot = files_[path];
+  if (!slot) slot = std::make_shared<FileData>();
+  std::lock_guard flock(slot->mu);
+  slot->bytes.clear();
+}
+
+bool VirtualFS::exists(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  return files_.count(path) != 0;
+}
+
+void VirtualFS::remove(const std::string& path) {
+  std::lock_guard lock(mu_);
+  files_.erase(path);
+}
+
+std::shared_ptr<VirtualFS::FileData> VirtualFS::get(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  auto it = files_.find(path);
+  PIOBLAST_CHECK_MSG(it != files_.end(), "no such file: " << path);
+  return it->second;
+}
+
+std::shared_ptr<VirtualFS::FileData> VirtualFS::get_or_create(const std::string& path) {
+  std::lock_guard lock(mu_);
+  auto& slot = files_[path];
+  if (!slot) slot = std::make_shared<FileData>();
+  return slot;
+}
+
+std::uint64_t VirtualFS::size(const std::string& path) const {
+  auto fd = get(path);
+  std::lock_guard lock(fd->mu);
+  return fd->bytes.size();
+}
+
+void VirtualFS::pwrite(const std::string& path, std::uint64_t offset,
+                       std::span<const std::uint8_t> data) {
+  auto fd = get_or_create(path);
+  std::lock_guard lock(fd->mu);
+  const std::uint64_t end = offset + data.size();
+  if (fd->bytes.size() < end) fd->bytes.resize(end, 0);
+  std::copy(data.begin(), data.end(),
+            fd->bytes.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+std::vector<std::uint8_t> VirtualFS::pread(const std::string& path,
+                                           std::uint64_t offset,
+                                           std::uint64_t len) const {
+  auto fd = get(path);
+  std::lock_guard lock(fd->mu);
+  PIOBLAST_CHECK_MSG(offset + len <= fd->bytes.size(),
+                     "pread past EOF: " << path << " offset=" << offset
+                                        << " len=" << len
+                                        << " size=" << fd->bytes.size());
+  return {fd->bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+          fd->bytes.begin() + static_cast<std::ptrdiff_t>(offset + len)};
+}
+
+std::vector<std::uint8_t> VirtualFS::read_all(const std::string& path) const {
+  auto fd = get(path);
+  std::lock_guard lock(fd->mu);
+  return fd->bytes;
+}
+
+void VirtualFS::write_all(const std::string& path,
+                          std::span<const std::uint8_t> data) {
+  auto fd = get_or_create(path);
+  std::lock_guard lock(fd->mu);
+  fd->bytes.assign(data.begin(), data.end());
+}
+
+std::vector<std::string> VirtualFS::list() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, _] : files_) out.push_back(path);
+  return out;
+}
+
+std::uint64_t VirtualFS::total_bytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [_, fd] : files_) {
+    std::lock_guard flock(fd->mu);
+    total += fd->bytes.size();
+  }
+  return total;
+}
+
+}  // namespace pioblast::pario

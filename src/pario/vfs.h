@@ -1,0 +1,83 @@
+// In-memory virtual file system with real bytes.
+//
+// Every simulated file (formatted database volumes, fragment copies, the
+// shared BLAST output file) lives here as an actual byte vector, so
+// correctness properties — e.g. "pioBLAST and mpiBLAST produce identical
+// output" — are checked on real data. Each VirtualFS carries the
+// StorageModel of the device it represents (XFS, NFS, a node-local disk);
+// the *timed* access wrappers live in file.h / collective.h.
+//
+// Raw operations here are untimed and thread-safe; they are the storage
+// backend, not the performance model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/storage.h"
+
+namespace pioblast::pario {
+
+class VirtualFS {
+ public:
+  explicit VirtualFS(sim::StorageModel model = sim::StorageModel::xfs_parallel())
+      : model_(model) {}
+
+  VirtualFS(const VirtualFS&) = delete;
+  VirtualFS& operator=(const VirtualFS&) = delete;
+
+  const sim::StorageModel& model() const { return model_; }
+
+  /// Creates an empty file (truncates if it exists).
+  void create(const std::string& path);
+
+  /// True if the file exists.
+  bool exists(const std::string& path) const;
+
+  /// Removes a file; no-op if absent.
+  void remove(const std::string& path);
+
+  /// Current size in bytes; throws if absent.
+  std::uint64_t size(const std::string& path) const;
+
+  /// Writes at `offset`, extending the file (zero-filling any gap).
+  /// Creates the file if absent.
+  void pwrite(const std::string& path, std::uint64_t offset,
+              std::span<const std::uint8_t> data);
+
+  /// Reads exactly [offset, offset+len); throws if out of range.
+  std::vector<std::uint8_t> pread(const std::string& path, std::uint64_t offset,
+                                  std::uint64_t len) const;
+
+  /// Convenience: reads the whole file.
+  std::vector<std::uint8_t> read_all(const std::string& path) const;
+
+  /// Convenience: replaces the whole file contents.
+  void write_all(const std::string& path, std::span<const std::uint8_t> data);
+
+  /// Sorted list of file paths (diagnostics/tests).
+  std::vector<std::string> list() const;
+
+  /// Total bytes stored across all files.
+  std::uint64_t total_bytes() const;
+
+ private:
+  struct FileData {
+    mutable std::mutex mu;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  std::shared_ptr<FileData> get(const std::string& path) const;
+  std::shared_ptr<FileData> get_or_create(const std::string& path);
+
+  sim::StorageModel model_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileData>> files_;
+};
+
+}  // namespace pioblast::pario

@@ -1,0 +1,67 @@
+// pioBLAST: the paper's contribution.
+//
+// Same search kernel and identical output as the mpiBLAST baseline, with
+// the three data-handling optimizations of Section 3:
+//
+//   1. Direct global database access + dynamic partitioning (§3.1): the
+//      master derives per-worker (start, end) byte ranges of the shared
+//      formatted volumes from the global index; workers read their ranges
+//      in parallel with individual MPI-IO reads into memory buffers. No
+//      physical fragments, no copy stage; the search kernel runs on the
+//      in-memory buffers (no I/O embedded in the search phase).
+//   2. Result caching + lean merging (§3.2): workers format and cache
+//      their candidate alignment text locally and submit only fixed-size
+//      metadata records (id, score, output size) for global screening.
+//   3. Parallel output (§3.3): the master computes per-alignment offsets
+//      in the single shared output file, distributes them, and every rank
+//      writes its cached buffers through an MPI-IO file view with one
+//      two-phase collective write (paper Figure 2, left).
+//
+// Optional extensions from Section 5 (off by default, measured by the
+// ablation bench):
+//   * early score broadcast — per query, workers agree on a global score
+//     threshold (the max over workers of each worker's hitlist-th best
+//     local score, a valid lower bound on the global cut) and prune
+//     submissions below it, shrinking merge volume without changing output;
+//   * collective input — read the database ranges with collective reads
+//     instead of individual ones;
+//   * fragment refinement — more virtual fragments than workers, assigned
+//     round-robin (finer granularity for load balancing studies).
+#pragma once
+
+#include "blast/driver.h"
+#include "mpisim/trace.h"
+#include "blast/job.h"
+#include "pario/collective.h"
+#include "pario/env.h"
+#include "sim/cluster.h"
+
+namespace pioblast::pio {
+
+struct PioBlastOptions {
+  blast::JobConfig job;
+  /// Optional event tracer (not owned; must outlive the run).
+  mpisim::Tracer* tracer = nullptr;
+  bool early_score_broadcast = false;  ///< §5 local-pruning extension
+  bool collective_input = false;       ///< read input ranges collectively
+  /// §5 dynamic load balancing: instead of statically assigning virtual
+  /// fragments round-robin, the master hands out file ranges greedily as
+  /// workers finish — "the file ranges can be decided at run time and
+  /// differentiated between different workers". Use with job.nfragments >
+  /// nworkers for finer task granularity. Incompatible with
+  /// collective_input (assignment order is data-dependent).
+  bool dynamic_scheduling = false;
+  /// §5 memory adaptivity: merge and flush queries in batches of this size
+  /// (one collective write per batch), bounding the cached-output memory.
+  /// 0 = a single flush at the end (the default, maximum aggregation).
+  std::uint32_t query_batch = 0;
+  pario::CollectiveConfig collective{};///< output aggregator count
+};
+
+/// Runs pioBLAST with `nprocs` simulated processes (1 master + workers)
+/// against the formatted database job.db_base on storage.shared().
+blast::DriverResult run_pioblast(const sim::ClusterConfig& cluster, int nprocs,
+                                 pario::ClusterStorage& storage,
+                                 const PioBlastOptions& opts);
+
+}  // namespace pioblast::pio

@@ -1,0 +1,79 @@
+#include "seqdb/alphabet.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/error.h"
+
+namespace pioblast::seqdb {
+
+namespace {
+
+constexpr int kProteinSize = 24;  // ARNDCQEGHILKMFPSTWYVBZX*
+constexpr int kDnaSize = 5;       // ACGTN
+constexpr std::uint8_t kProteinX = 22;
+constexpr std::uint8_t kDnaN = 4;
+
+std::array<std::uint8_t, 256> build_encode_table(std::string_view letters,
+                                                 std::uint8_t wildcard) {
+  std::array<std::uint8_t, 256> table{};
+  table.fill(wildcard);
+  for (std::size_t i = 0; i < letters.size(); ++i) {
+    const char c = letters[i];
+    table[static_cast<unsigned char>(c)] = static_cast<std::uint8_t>(i);
+    table[static_cast<unsigned char>(std::tolower(c))] = static_cast<std::uint8_t>(i);
+  }
+  return table;
+}
+
+const std::array<std::uint8_t, 256>& protein_table() {
+  static const auto table = build_encode_table(kProteinLetters, kProteinX);
+  return table;
+}
+
+const std::array<std::uint8_t, 256>& dna_table() {
+  static const auto table = build_encode_table(kDnaLetters, kDnaN);
+  return table;
+}
+
+}  // namespace
+
+int alphabet_size(SeqType type) {
+  return type == SeqType::kProtein ? kProteinSize : kDnaSize;
+}
+
+std::uint8_t encode_residue(SeqType type, char c) {
+  return type == SeqType::kProtein ? protein_table()[static_cast<unsigned char>(c)]
+                                   : dna_table()[static_cast<unsigned char>(c)];
+}
+
+char decode_residue(SeqType type, std::uint8_t code) {
+  const std::string_view letters =
+      type == SeqType::kProtein ? kProteinLetters : kDnaLetters;
+  PIOBLAST_CHECK_MSG(code < letters.size(), "residue code out of range: "
+                                                << static_cast<int>(code));
+  return letters[code];
+}
+
+std::vector<std::uint8_t> encode_sequence(SeqType type, std::string_view seq) {
+  std::vector<std::uint8_t> codes;
+  codes.reserve(seq.size());
+  for (char c : seq) codes.push_back(encode_residue(type, c));
+  return codes;
+}
+
+std::string decode_sequence(SeqType type, const std::vector<std::uint8_t>& codes) {
+  std::string out;
+  out.reserve(codes.size());
+  for (auto code : codes) out.push_back(decode_residue(type, code));
+  return out;
+}
+
+bool is_valid_letter(SeqType type, char c) {
+  const char upper = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  const std::string_view letters =
+      type == SeqType::kProtein ? kProteinLetters : kDnaLetters;
+  return letters.find(upper) != std::string_view::npos;
+}
+
+}  // namespace pioblast::seqdb

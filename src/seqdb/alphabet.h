@@ -1,0 +1,48 @@
+// Residue alphabets and encodings.
+//
+// Sequences are stored in formatted databases as small integer codes (as
+// NCBI's .psq/.nsq volumes do); the BLAST engine consumes codes directly so
+// scoring-matrix lookups are single array indexes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pioblast::seqdb {
+
+/// Sequence molecule type.
+enum class SeqType : std::uint8_t {
+  kProtein = 0,
+  kNucleotide = 1,
+};
+
+/// Number of residue codes for a type (includes the unknown residue).
+int alphabet_size(SeqType type);
+
+/// Protein alphabet: codes 0..23 for ARNDCQEGHILKMFPSTWYVBZX*, in the
+/// classic NCBIstdaa-like ordering used by our BLOSUM62 table.
+inline constexpr std::string_view kProteinLetters = "ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// Nucleotide alphabet: codes 0..4 for ACGTN.
+inline constexpr std::string_view kDnaLetters = "ACGTN";
+
+/// Encodes one residue character (case-insensitive); unknown characters map
+/// to the alphabet's wildcard (X for protein, N for DNA).
+std::uint8_t encode_residue(SeqType type, char c);
+
+/// Decodes a residue code back to its canonical letter.
+char decode_residue(SeqType type, std::uint8_t code);
+
+/// Encodes a character sequence to codes.
+std::vector<std::uint8_t> encode_sequence(SeqType type, std::string_view seq);
+
+/// Decodes a code sequence to letters.
+std::string decode_sequence(SeqType type, const std::vector<std::uint8_t>& codes);
+
+/// True if `c` is a plausible residue letter for the type (used by FASTA
+/// validation; '*' is accepted for protein stop codons).
+bool is_valid_letter(SeqType type, char c);
+
+}  // namespace pioblast::seqdb

@@ -1,0 +1,85 @@
+#include "seqdb/fasta.h"
+
+#include <cctype>
+
+#include "util/error.h"
+
+namespace pioblast::seqdb {
+
+std::vector<FastaRecord> parse_fasta(std::string_view text) {
+  std::vector<FastaRecord> records;
+  FastaRecord current;
+  bool in_record = false;
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Trim a trailing CR (CRLF input) and trailing spaces.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+
+    if (line.front() == '>') {
+      if (in_record) {
+        PIOBLAST_CHECK_MSG(!current.sequence.empty(),
+                           "FASTA record '" << current.id << "' has no residues");
+        records.push_back(std::move(current));
+        current = {};
+      }
+      in_record = true;
+      std::string_view defline = line.substr(1);
+      while (!defline.empty() && defline.front() == ' ') defline.remove_prefix(1);
+      PIOBLAST_CHECK_MSG(!defline.empty(), "empty FASTA defline");
+      const std::size_t space = defline.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        current.id = std::string(defline);
+      } else {
+        current.id = std::string(defline.substr(0, space));
+        std::string_view rest = defline.substr(space + 1);
+        while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t'))
+          rest.remove_prefix(1);
+        current.description = std::string(rest);
+      }
+    } else {
+      PIOBLAST_CHECK_MSG(in_record, "FASTA sequence data before first defline");
+      for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        current.sequence.push_back(c);
+      }
+    }
+  }
+  if (in_record) {
+    PIOBLAST_CHECK_MSG(!current.sequence.empty(),
+                       "FASTA record '" << current.id << "' has no residues");
+    records.push_back(std::move(current));
+  }
+  return records;
+}
+
+std::vector<FastaRecord> parse_fasta(std::span<const std::uint8_t> bytes) {
+  return parse_fasta(std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                                      bytes.size()));
+}
+
+std::string write_fasta(const std::vector<FastaRecord>& records, int width) {
+  PIOBLAST_CHECK(width > 0);
+  std::string out;
+  for (const FastaRecord& rec : records) {
+    out.push_back('>');
+    out += rec.defline();
+    out.push_back('\n');
+    for (std::size_t i = 0; i < rec.sequence.size();
+         i += static_cast<std::size_t>(width)) {
+      out += rec.sequence.substr(i, static_cast<std::size_t>(width));
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace pioblast::seqdb

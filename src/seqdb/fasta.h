@@ -1,0 +1,40 @@
+// FASTA parsing and writing.
+//
+// Raw databases and query sets travel as FASTA text (the paper's workflow:
+// raw FASTA -> formatdb -> formatted volumes). The parser is tolerant of
+// blank lines, CRLF endings, and arbitrary line wrapping; the writer wraps
+// sequences at a fixed column like NCBI tools.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pioblast::seqdb {
+
+/// One FASTA record. `id` is the first whitespace-delimited token of the
+/// defline; `description` is the remainder (possibly empty).
+struct FastaRecord {
+  std::string id;
+  std::string description;
+  std::string sequence;
+
+  std::string defline() const {
+    return description.empty() ? id : id + " " + description;
+  }
+};
+
+/// Parses FASTA text into records. Throws util::RuntimeError on malformed
+/// input (sequence data before the first '>', empty deflines, records with
+/// no residues).
+std::vector<FastaRecord> parse_fasta(std::string_view text);
+
+/// Convenience overload for byte buffers read from a VirtualFS.
+std::vector<FastaRecord> parse_fasta(std::span<const std::uint8_t> bytes);
+
+/// Serializes records to FASTA text with sequences wrapped at `width`.
+std::string write_fasta(const std::vector<FastaRecord>& records, int width = 70);
+
+}  // namespace pioblast::seqdb

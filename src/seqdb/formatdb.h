@@ -1,0 +1,130 @@
+// formatdb: raw FASTA -> formatted, searchable database volumes.
+//
+// Mirrors the NCBI toolchain the paper builds on. A formatted database
+// `<base>` consists of three files on the (virtual) file system:
+//
+//   <base>.pin  index: fixed 104-byte header, then the sequence-offset
+//               array and the header-offset array, each (n+1) u64 entries
+//               at *computable byte positions* — this is what makes
+//               pioBLAST's ranged index reads (paper §3.1) possible;
+//   <base>.psq  encoded residues of all sequences, back to back;
+//   <base>.phr  deflines of all sequences, back to back.
+//
+// For nucleotide databases the same layout is written as .nin/.nsq/.nhr.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pario/vfs.h"
+#include "seqdb/alphabet.h"
+#include "seqdb/fasta.h"
+
+namespace pioblast::seqdb {
+
+/// Deserialized contents of a `.pin`/`.nin` index file.
+struct DbIndex {
+  SeqType type = SeqType::kProtein;
+  std::string title;
+  std::uint64_t num_seqs = 0;
+  std::uint64_t total_residues = 0;
+  std::uint64_t max_seq_len = 0;
+  /// Byte offsets into .psq; entry i..i+1 brackets sequence i. Size n+1.
+  std::vector<std::uint64_t> seq_offsets;
+  /// Byte offsets into .phr; entry i..i+1 brackets defline i. Size n+1.
+  std::vector<std::uint64_t> hdr_offsets;
+
+  /// Fixed serialized header size preceding the offset arrays.
+  static constexpr std::uint64_t kHeaderBytes = 104;
+
+  std::uint64_t seq_len(std::uint64_t i) const {
+    return seq_offsets[i + 1] - seq_offsets[i];
+  }
+
+  /// Byte position of seq_offsets[i] within the serialized index file.
+  static std::uint64_t seq_offsets_pos(std::uint64_t i) {
+    return kHeaderBytes + i * sizeof(std::uint64_t);
+  }
+
+  /// Byte position of hdr_offsets[i] within the serialized index file,
+  /// given the database's sequence count.
+  static std::uint64_t hdr_offsets_pos(std::uint64_t num_seqs, std::uint64_t i) {
+    return kHeaderBytes + (num_seqs + 1 + i) * sizeof(std::uint64_t);
+  }
+
+  std::vector<std::uint8_t> serialize() const;
+  static DbIndex deserialize(std::span<const std::uint8_t> bytes);
+
+  /// Parses just the fixed header (first kHeaderBytes): type, title and
+  /// counts — enough for a master to plan ranged reads without loading the
+  /// offset arrays.
+  static DbIndex deserialize_header(std::span<const std::uint8_t> bytes);
+};
+
+/// File-name suffixes for a database of the given type.
+struct VolumeNames {
+  std::string index;     ///< <base>.pin or <base>.nin
+  std::string sequence;  ///< <base>.psq or <base>.nsq
+  std::string header;    ///< <base>.phr or <base>.nhr
+};
+VolumeNames volume_names(const std::string& base, SeqType type);
+
+/// Result of a formatdb run.
+struct FormatDbResult {
+  std::string base;
+  DbIndex index;
+  std::uint64_t raw_bytes = 0;        ///< size of the raw FASTA input
+  std::uint64_t formatted_bytes = 0;  ///< total size of the three volumes
+};
+
+/// Formats FASTA `records` into volumes `<base>.*` on `fs`.
+FormatDbResult format_db(pario::VirtualFS& fs, const std::vector<FastaRecord>& records,
+                         const std::string& base, SeqType type,
+                         const std::string& title);
+
+/// Convenience: parses raw FASTA text stored at `raw_path` on `fs`, then
+/// formats it (the classic `formatdb -i raw` flow).
+FormatDbResult format_db_from_file(pario::VirtualFS& fs, const std::string& raw_path,
+                                   const std::string& base, SeqType type,
+                                   const std::string& title);
+
+/// A database fragment resident in worker memory: either a physical
+/// fragment's files (mpiBLAST) or ranged reads of the global volumes
+/// (pioBLAST). Offsets are rebased so the buffers are self-contained.
+class LoadedFragment {
+ public:
+  LoadedFragment(SeqType type, std::uint64_t first_global_seq,
+                 std::vector<std::uint64_t> seq_offsets,
+                 std::vector<std::uint64_t> hdr_offsets,
+                 std::vector<std::uint8_t> psq, std::vector<std::uint8_t> phr);
+
+  SeqType type() const { return type_; }
+  std::uint64_t num_seqs() const { return seq_offsets_.size() - 1; }
+  std::uint64_t first_global_seq() const { return first_global_seq_; }
+  std::uint64_t global_id(std::uint64_t local) const {
+    return first_global_seq_ + local;
+  }
+
+  std::span<const std::uint8_t> sequence(std::uint64_t local) const;
+  std::string_view defline(std::uint64_t local) const;
+  std::uint64_t residues() const { return psq_.size(); }
+  std::uint64_t bytes() const { return psq_.size() + phr_.size(); }
+
+ private:
+  SeqType type_;
+  std::uint64_t first_global_seq_;
+  std::vector<std::uint64_t> seq_offsets_;  ///< rebased to psq_[0]; size n+1
+  std::vector<std::uint64_t> hdr_offsets_;  ///< rebased to phr_[0]; size n+1
+  std::vector<std::uint8_t> psq_;
+  std::vector<std::uint8_t> phr_;
+};
+
+/// Loads a whole formatted database (or physical fragment) `<base>.*` from
+/// `fs` into memory. Untimed — callers charge I/O via timed wrappers.
+LoadedFragment load_volumes(const pario::VirtualFS& fs, const std::string& base,
+                            SeqType type, std::uint64_t first_global_seq = 0);
+
+}  // namespace pioblast::seqdb

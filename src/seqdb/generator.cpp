@@ -1,0 +1,164 @@
+#include "seqdb/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace pioblast::seqdb {
+
+namespace {
+
+// Robinson & Robinson (1991) amino-acid background frequencies, in the
+// order of kProteinLetters (ARNDCQEGHILKMFPSTWYV); B/Z/X/* get zero mass.
+constexpr std::array<double, 20> kAaFreq = {
+    0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295,
+    0.07377, 0.02199, 0.05142, 0.09019, 0.05744, 0.02243, 0.03856,
+    0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441};
+
+constexpr std::array<double, 4> kNtFreq = {0.293, 0.207, 0.208, 0.292};  // ACGT
+
+/// Builds a cumulative distribution over residue codes.
+std::vector<double> cumulative(SeqType type) {
+  std::vector<double> cdf;
+  double acc = 0;
+  if (type == SeqType::kProtein) {
+    for (double f : kAaFreq) cdf.push_back(acc += f);
+  } else {
+    for (double f : kNtFreq) cdf.push_back(acc += f);
+  }
+  // Normalize the final entry to exactly 1 so sampling never falls off.
+  for (double& v : cdf) v /= acc;
+  return cdf;
+}
+
+std::uint8_t sample_code(util::Rng& rng, const std::vector<double>& cdf) {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<std::uint8_t>(std::min<std::ptrdiff_t>(
+      it - cdf.begin(), static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+}
+
+/// Deterministic standard normal via Box–Muller on our own RNG (std
+/// distributions are implementation-defined, which would break
+/// cross-platform reproducibility).
+double sample_normal(util::Rng& rng) {
+  double u1 = rng.uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+std::uint32_t sample_length(util::Rng& rng, const GeneratorConfig& cfg) {
+  const double len = std::exp(cfg.log_mean + cfg.log_sigma * sample_normal(rng));
+  return std::clamp(static_cast<std::uint32_t>(len), cfg.min_len, cfg.max_len);
+}
+
+std::string random_sequence(util::Rng& rng, const std::vector<double>& cdf,
+                            SeqType type, std::uint32_t len) {
+  std::string seq;
+  seq.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i)
+    seq.push_back(decode_residue(type, sample_code(rng, cdf)));
+  return seq;
+}
+
+/// Derives a homolog: point mutations plus occasional 1-8 residue indels.
+std::string mutate(util::Rng& rng, const std::vector<double>& cdf, SeqType type,
+                   const std::string& parent, const GeneratorConfig& cfg) {
+  std::string child;
+  child.reserve(parent.size() + 16);
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    const double u = rng.uniform();
+    if (u < cfg.indel_rate / 2) {
+      // Deletion: skip 1-8 residues.
+      i += rng.between(0, 7);
+      continue;
+    }
+    if (u < cfg.indel_rate) {
+      // Insertion of 1-8 random residues, then keep the original.
+      const auto k = rng.between(1, 8);
+      for (std::uint64_t j = 0; j < k; ++j)
+        child.push_back(decode_residue(type, sample_code(rng, cdf)));
+    }
+    if (rng.uniform() < cfg.mutation_rate) {
+      child.push_back(decode_residue(type, sample_code(rng, cdf)));
+    } else {
+      child.push_back(parent[i]);
+    }
+  }
+  if (child.empty()) child = parent.substr(0, 1);
+  return child;
+}
+
+}  // namespace
+
+std::vector<FastaRecord> generate_database(const GeneratorConfig& cfg) {
+  PIOBLAST_CHECK(cfg.target_residues > 0);
+  PIOBLAST_CHECK(cfg.min_len >= 10 && cfg.min_len <= cfg.max_len);
+  util::Rng rng(cfg.seed);
+  const auto cdf = cumulative(cfg.type);
+
+  std::vector<FastaRecord> db;
+  std::uint64_t residues = 0;
+  std::uint64_t serial = 0;
+  std::uint32_t roots = 0;
+  while (residues < cfg.target_residues) {
+    FastaRecord rec;
+    char idbuf[48];
+    std::snprintf(idbuf, sizeof idbuf, "%s|%06llu", cfg.id_prefix.c_str(),
+                  static_cast<unsigned long long>(serial));
+    rec.id = idbuf;
+    const bool roots_exhausted = cfg.max_roots > 0 && roots >= cfg.max_roots;
+    if (!db.empty() &&
+        (roots_exhausted || rng.uniform() < cfg.family_fraction)) {
+      const auto parent = rng.below(db.size());
+      rec.sequence = mutate(rng, cdf, cfg.type, db[parent].sequence, cfg);
+      rec.description = "homolog of " + db[parent].id;
+    } else {
+      rec.sequence = random_sequence(rng, cdf, cfg.type, sample_length(rng, cfg));
+      rec.description = "synthetic sequence len=" + std::to_string(rec.sequence.size());
+      ++roots;
+    }
+    residues += rec.sequence.size();
+    db.push_back(std::move(rec));
+    ++serial;
+  }
+  return db;
+}
+
+std::vector<FastaRecord> sample_queries(const std::vector<FastaRecord>& db,
+                                        std::uint64_t target_bytes,
+                                        std::uint64_t seed) {
+  PIOBLAST_CHECK_MSG(!db.empty(), "cannot sample queries from an empty database");
+  util::Rng rng(seed);
+  // Shuffle a permutation of indices (Fisher–Yates) and take a prefix.
+  std::vector<std::uint64_t> order(db.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const auto j = rng.below(i);
+    std::swap(order[i - 1], order[j]);
+  }
+
+  std::vector<FastaRecord> queries;
+  std::uint64_t bytes = 0;
+  std::size_t cursor = 0;
+  std::uint64_t serial = 0;
+  while (bytes < target_bytes) {
+    const FastaRecord& src = db[order[cursor]];
+    cursor = (cursor + 1) % order.size();  // wrap if target exceeds DB size
+    FastaRecord q;
+    q.id = "query_" + std::to_string(serial++);
+    q.description = "sampled from " + src.id;
+    q.sequence = src.sequence;
+    bytes += q.sequence.size() + q.defline().size() + 3;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace pioblast::seqdb

@@ -1,0 +1,52 @@
+// Synthetic sequence database generation.
+//
+// Stand-in for GenBank nr/nt (see DESIGN.md substitutions). Sequences are
+// drawn with realistic residue frequencies and a log-normal length
+// distribution; a configurable fraction of sequences are *mutated copies*
+// of earlier ones, forming homology families like real protein databases —
+// this is what gives query searches rich, multi-alignment hit lists, which
+// in turn drives the result-merging volume the paper's experiments measure.
+// Everything is seeded and bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seqdb/alphabet.h"
+#include "seqdb/fasta.h"
+
+namespace pioblast::seqdb {
+
+struct GeneratorConfig {
+  SeqType type = SeqType::kProtein;
+  std::uint64_t target_residues = 4u << 20;  ///< stop once this many residues exist
+  std::uint32_t min_len = 60;
+  std::uint32_t max_len = 2000;
+  double log_mean = 5.7;    ///< log-normal location (exp(5.7) ~= 300 aa, nr-like)
+  double log_sigma = 0.55;  ///< log-normal scale
+  double family_fraction = 0.35;  ///< probability a sequence derives from an earlier one
+  double mutation_rate = 0.12;    ///< per-residue substitution rate within families
+  double indel_rate = 0.01;       ///< per-residue insertion/deletion rate within families
+  /// When > 0, caps the number of *root* (de novo) sequences: once that
+  /// many roots exist, every further sequence derives from an earlier one.
+  /// With uniform parent choice this yields Yule-process family growth —
+  /// a few very large families, like the redundancy of real GenBank nr —
+  /// which is what saturates per-fragment hit lists in the benchmarks.
+  std::uint32_t max_roots = 0;
+  std::uint64_t seed = 0x5eedBA57;
+  std::string id_prefix = "syn";
+};
+
+/// Generates a database; record ids are "<prefix>|NNNNNN" with descriptive
+/// deflines, mimicking GenBank-style FASTA.
+std::vector<FastaRecord> generate_database(const GeneratorConfig& config);
+
+/// Randomly samples whole records from `db` until the cumulative FASTA text
+/// size reaches `target_bytes` (the paper built its query sets by "randomly
+/// sampling the nr database itself"). Sampling is without replacement while
+/// possible; ids are rewritten to "query_N" to keep output deterministic.
+std::vector<FastaRecord> sample_queries(const std::vector<FastaRecord>& db,
+                                        std::uint64_t target_bytes,
+                                        std::uint64_t seed);
+
+}  // namespace pioblast::seqdb

@@ -1,0 +1,25 @@
+#include "sim/cluster.h"
+
+namespace pioblast::sim {
+
+ClusterConfig ClusterConfig::ornl_altix() {
+  ClusterConfig c;
+  c.name = "ornl-altix";
+  c.network = NetworkModel::altix_numalink();
+  c.shared_storage = StorageModel::xfs_parallel();
+  c.local_disks = std::nullopt;  // user jobs have no local storage on Ram
+  c.cost = CostModel{};
+  return c;
+}
+
+ClusterConfig ClusterConfig::ncsu_blade() {
+  ClusterConfig c;
+  c.name = "ncsu-blade";
+  c.network = NetworkModel::gigabit_ethernet();
+  c.shared_storage = StorageModel::nfs_server();
+  c.local_disks = StorageModel::local_disk();
+  c.cost = CostModel{};
+  return c;
+}
+
+}  // namespace pioblast::sim

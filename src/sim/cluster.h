@@ -1,0 +1,53 @@
+// Cluster configuration: the machine a simulated run executes on.
+//
+// A cluster bundles the network model, the shared file system model, the
+// optional node-local disks, and the compute cost model. The two presets
+// mirror the paper's test platforms (Section 4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/network.h"
+#include "sim/storage.h"
+
+namespace pioblast::sim {
+
+/// Everything the runtime needs to know about the simulated machine.
+struct ClusterConfig {
+  std::string name = "cluster";
+  NetworkModel network{};
+  StorageModel shared_storage{};            ///< shared FS holding DB + output
+  std::optional<StorageModel> local_disks{};///< per-node scratch, if any
+  CostModel cost{};
+  /// Per-rank relative compute speed (1.0 = nominal; 0.5 = half speed).
+  /// Empty means a homogeneous machine. Ranks beyond the vector's size run
+  /// at nominal speed. This models the paper's §5 scenario of
+  /// "heterogeneous nodes or skewed search" that motivates dynamic
+  /// load balancing.
+  std::vector<double> node_speed{};
+
+  bool has_local_disks() const { return local_disks.has_value(); }
+
+  /// Compute-speed factor of `rank` (>= epsilon; misconfigured zero or
+  /// negative entries are treated as nominal).
+  double speed_of(int rank) const {
+    if (rank < 0 || static_cast<std::size_t>(rank) >= node_speed.size())
+      return 1.0;
+    const double s = node_speed[static_cast<std::size_t>(rank)];
+    return s > 0 ? s : 1.0;
+  }
+
+  /// ORNL SGI Altix "Ram": NUMAlink fabric, XFS parallel FS, and — as the
+  /// paper notes — *no* node-local storage open to user jobs, so mpiBLAST's
+  /// copy stage targets shared job scratch space on XFS.
+  static ClusterConfig ornl_altix();
+
+  /// NCSU IBM Blade Cluster: gigabit Ethernet, NFS shared FS, 40 GB local
+  /// disks on every blade.
+  static ClusterConfig ncsu_blade();
+};
+
+}  // namespace pioblast::sim

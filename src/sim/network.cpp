@@ -1,0 +1,25 @@
+#include "sim/network.h"
+
+namespace pioblast::sim {
+
+NetworkModel NetworkModel::altix_numalink() {
+  Params p;
+  p.latency = 1.5e-6;             // NUMAlink4-class latency
+  p.send_overhead = 0.5e-6;
+  p.recv_overhead = 0.5e-6;
+  p.bandwidth = 3.2e9;            // ~3.2 GB/s per link
+  p.recv_copy_bandwidth = 6.4e9;  // local memory copy
+  return NetworkModel(p);
+}
+
+NetworkModel NetworkModel::gigabit_ethernet() {
+  Params p;
+  p.latency = 50e-6;              // GigE + switch
+  p.send_overhead = 10e-6;        // TCP/IP stack traversal
+  p.recv_overhead = 10e-6;
+  p.bandwidth = 110e6;            // ~110 MB/s effective
+  p.recv_copy_bandwidth = 2.0e9;
+  return NetworkModel(p);
+}
+
+}  // namespace pioblast::sim

@@ -1,0 +1,67 @@
+// LogGP-style network model.
+//
+// Point-to-point message cost is decomposed, following the LogGP family of
+// models, into sender overhead (o), per-byte injection gap (G = 1/bandwidth),
+// wire latency (L), and receiver overhead (o + per-byte copy cost). The
+// sender pays o + n*G on its own clock; the message arrives L later; the
+// receiver pays its overhead when it picks the message up. Incast contention
+// at a busy receiver (e.g. the mpiBLAST master collecting results from every
+// worker) emerges naturally because the receiver's clock serializes the
+// per-message receive processing.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace pioblast::sim {
+
+/// Immutable network parameter set. All cost functions are pure so that
+/// simulated timings are independent of host thread scheduling.
+class NetworkModel {
+ public:
+  struct Params {
+    Time latency = 5e-6;            ///< L: wire + switch latency (s).
+    Time send_overhead = 1e-6;      ///< o_s: fixed CPU cost to inject a message.
+    Time recv_overhead = 1e-6;      ///< o_r: fixed CPU cost to receive a message.
+    double bandwidth = 1.0e9;       ///< B: per-link bandwidth (bytes/s).
+    double recv_copy_bandwidth = 4.0e9;  ///< memory copy rate at receiver (bytes/s).
+  };
+
+  NetworkModel() = default;
+  explicit NetworkModel(const Params& p) : p_(p) {}
+
+  const Params& params() const { return p_; }
+
+  /// Time the sender's clock advances to inject an n-byte message.
+  Time send_cost(std::uint64_t bytes) const {
+    return p_.send_overhead + static_cast<double>(bytes) / p_.bandwidth;
+  }
+
+  /// Wire latency between injection completion and arrival at the receiver.
+  Time wire_latency() const { return p_.latency; }
+
+  /// Time the receiver's clock advances to drain an n-byte message.
+  Time recv_cost(std::uint64_t bytes) const {
+    return p_.recv_overhead +
+           static_cast<double>(bytes) / p_.recv_copy_bandwidth;
+  }
+
+  /// End-to-end unloaded transfer time (used by analytic collective bounds).
+  Time transfer_time(std::uint64_t bytes) const {
+    return send_cost(bytes) + wire_latency() + recv_cost(bytes);
+  }
+
+  // ---- presets ----------------------------------------------------------
+
+  /// SGI Altix NUMAlink-class fabric: very low latency, high bandwidth.
+  static NetworkModel altix_numalink();
+
+  /// Gigabit-Ethernet cluster interconnect (NCSU blade cluster era).
+  static NetworkModel gigabit_ethernet();
+
+ private:
+  Params p_{};
+};
+
+}  // namespace pioblast::sim

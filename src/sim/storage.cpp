@@ -1,0 +1,84 @@
+#include "sim/storage.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pioblast::sim {
+
+double StorageModel::shared_rate(double client_bw, double aggregate_bw,
+                                 int concurrency) const {
+  PIOBLAST_CHECK(concurrency >= 1);
+  if (p_.kind == StorageKind::kLocalDisk) {
+    // Each node owns its disk; cross-client sharing never applies.
+    return client_bw;
+  }
+  // Parallel FS and single-server FS both divide their aggregate ceiling
+  // across concurrent clients; the difference is in the ceilings (and in
+  // the per-request latency handling below).
+  return std::min(client_bw, aggregate_bw / static_cast<double>(concurrency));
+}
+
+double StorageModel::effective_read_bandwidth(int concurrency) const {
+  return shared_rate(p_.client_read_bw, p_.aggregate_read_bw, concurrency);
+}
+
+double StorageModel::effective_write_bandwidth(int concurrency) const {
+  return shared_rate(p_.client_write_bw, p_.aggregate_write_bw, concurrency);
+}
+
+Time StorageModel::read_seconds(std::uint64_t bytes, int concurrency) const {
+  PIOBLAST_CHECK(concurrency >= 1);
+  // A single-server file system also serializes *request handling*, so the
+  // per-operation latency grows with the number of concurrent clients.
+  Time setup = p_.access_latency;
+  if (p_.kind == StorageKind::kSingleServer) setup *= concurrency;
+  return setup +
+         static_cast<double>(bytes) / effective_read_bandwidth(concurrency);
+}
+
+Time StorageModel::write_seconds(std::uint64_t bytes, int concurrency) const {
+  PIOBLAST_CHECK(concurrency >= 1);
+  Time setup = p_.access_latency;
+  if (p_.kind == StorageKind::kSingleServer) setup *= concurrency;
+  return setup +
+         static_cast<double>(bytes) / effective_write_bandwidth(concurrency);
+}
+
+StorageModel StorageModel::xfs_parallel() {
+  Params p;
+  p.kind = StorageKind::kParallel;
+  p.access_latency = 0.3e-3;
+  p.client_read_bw = 500e6;
+  p.client_write_bw = 80e6;
+  p.aggregate_read_bw = 4e9;    // parallel reads scale (1 GB in < 0.5 s)
+  p.aggregate_write_bw = 130e6; // shared scratch writes are the bottleneck
+  p.name = "xfs";
+  return StorageModel(p);
+}
+
+StorageModel StorageModel::nfs_server() {
+  Params p;
+  p.kind = StorageKind::kSingleServer;
+  p.access_latency = 2e-3;
+  p.client_read_bw = 60e6;
+  p.client_write_bw = 30e6;
+  p.aggregate_read_bw = 80e6;  // one NFS server's disk+net ceiling
+  p.aggregate_write_bw = 35e6;
+  p.name = "nfs";
+  return StorageModel(p);
+}
+
+StorageModel StorageModel::local_disk() {
+  Params p;
+  p.kind = StorageKind::kLocalDisk;
+  p.access_latency = 5e-3;  // seek-dominated commodity drive
+  p.client_read_bw = 45e6;
+  p.client_write_bw = 35e6;
+  p.aggregate_read_bw = 45e6;
+  p.aggregate_write_bw = 35e6;
+  p.name = "local-disk";
+  return StorageModel(p);
+}
+
+}  // namespace pioblast::sim

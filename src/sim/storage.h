@@ -1,0 +1,81 @@
+// Storage device models for the simulated shared and local file systems.
+//
+// The paper's experiments span three storage regimes:
+//   * SGI Altix + XFS: a parallel file system where many clients sustain
+//     high aggregate *read* bandwidth (pioBLAST's 1 GB input stage takes
+//     under half a second) while concurrent small writes are far slower
+//     (mpiBLAST's fragment copy to shared scratch takes ~17 s);
+//   * blade cluster + NFS: a single server that serializes concurrent
+//     clients (Section 4.2, Figure 4);
+//   * node-local disks used by mpiBLAST's fragment copy stage.
+//
+// Cost functions are pure: they take the byte count and a *concurrency
+// hint* (how many clients are streaming simultaneously, known to the
+// drivers from protocol structure) and return a duration. Keeping the
+// model stateless makes simulated timings deterministic under arbitrary
+// host thread interleavings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace pioblast::sim {
+
+/// How a device behaves under concurrent clients.
+enum class StorageKind {
+  kParallel,      ///< striped parallel FS: aggregate bandwidth shared evenly
+  kSingleServer,  ///< NFS-like: one server, clients time-share its bandwidth
+  kLocalDisk,     ///< per-node disk: no cross-client sharing
+};
+
+/// Immutable storage parameter set with pure cost functions.
+class StorageModel {
+ public:
+  struct Params {
+    StorageKind kind = StorageKind::kParallel;
+    Time access_latency = 0.5e-3;         ///< per-operation setup/seek (s)
+    double client_read_bw = 400e6;        ///< one client streaming reads (B/s)
+    double client_write_bw = 200e6;       ///< one client streaming writes (B/s)
+    double aggregate_read_bw = 4e9;       ///< device-wide read ceiling (B/s)
+    double aggregate_write_bw = 500e6;    ///< device-wide write ceiling (B/s)
+    std::string name = "storage";
+  };
+
+  StorageModel() = default;
+  explicit StorageModel(const Params& p) : p_(p) {}
+
+  const Params& params() const { return p_; }
+  const std::string& name() const { return p_.name; }
+  StorageKind kind() const { return p_.kind; }
+
+  /// Effective streaming bandwidth seen by one client when `concurrency`
+  /// clients access the device at once.
+  double effective_read_bandwidth(int concurrency) const;
+  double effective_write_bandwidth(int concurrency) const;
+
+  /// Duration of one read/write of `bytes` by a single client while
+  /// `concurrency` clients (including this one) access the device.
+  Time read_seconds(std::uint64_t bytes, int concurrency = 1) const;
+  Time write_seconds(std::uint64_t bytes, int concurrency = 1) const;
+
+  // ---- presets ----------------------------------------------------------
+
+  /// XFS on the ORNL Altix: reads scale to many clients; writes are much
+  /// slower in aggregate (2004-era RAID behind the parallel FS).
+  static StorageModel xfs_parallel();
+
+  /// NFS on the NCSU blade cluster: single server, modest bandwidth.
+  static StorageModel nfs_server();
+
+  /// Commodity node-local disk (40 GB blade-era drive).
+  static StorageModel local_disk();
+
+ private:
+  double shared_rate(double client_bw, double aggregate_bw, int concurrency) const;
+
+  Params p_{};
+};
+
+}  // namespace pioblast::sim

@@ -1,0 +1,53 @@
+// Error-handling helpers shared across the pioBLAST codebase.
+//
+// We favour exceptions for unrecoverable misuse (contract violations carry a
+// message with file/line) because the library is used from long-running
+// drivers where an abort would lose the simulation state being debugged.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pioblast::util {
+
+/// Exception thrown when a PIOBLAST_CHECK contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Exception thrown for runtime failures (bad input files, protocol errors).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace pioblast::util
+
+/// Checks a precondition/invariant; throws ContractViolation on failure.
+#define PIOBLAST_CHECK(expr)                                                     \
+  do {                                                                           \
+    if (!(expr)) ::pioblast::util::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Checked with an explanatory message streamed into the exception text.
+#define PIOBLAST_CHECK_MSG(expr, msg)                                            \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      std::ostringstream pioblast_check_os_;                                     \
+      pioblast_check_os_ << msg;                                                 \
+      ::pioblast::util::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                             pioblast_check_os_.str());          \
+    }                                                                            \
+  } while (0)

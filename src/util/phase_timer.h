@@ -1,0 +1,45 @@
+// Per-process accounting of virtual time into named execution phases.
+//
+// The drivers mirror the paper's instrumentation: every stretch of a rank's
+// virtual timeline is attributed to the phase the rank is currently in
+// ("copy", "input", "search", "output", "other"), and run reports aggregate
+// these buckets into the tables/figures of Section 4.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/time.h"
+
+namespace pioblast::util {
+
+/// Accumulates seconds into named buckets. Not thread-safe; one per rank.
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to phase `name` (no-op for non-positive durations).
+  void add(const std::string& name, sim::Time seconds) {
+    if (seconds > 0) buckets_[name] += seconds;
+  }
+
+  /// Seconds accumulated for `name` (0 if the phase never ran).
+  sim::Time get(const std::string& name) const {
+    auto it = buckets_.find(name);
+    return it == buckets_.end() ? 0.0 : it->second;
+  }
+
+  /// Sum over all phases.
+  sim::Time total() const {
+    sim::Time t = 0;
+    for (const auto& [_, v] : buckets_) t += v;
+    return t;
+  }
+
+  const std::map<std::string, sim::Time>& buckets() const { return buckets_; }
+
+  void clear() { buckets_.clear(); }
+
+ private:
+  std::map<std::string, sim::Time> buckets_;
+};
+
+}  // namespace pioblast::util

@@ -1,0 +1,45 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pioblast::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", static_cast<double>(bytes) / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", static_cast<double>(bytes) / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB", static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  if (seconds >= 120.0) {
+    const int minutes = static_cast<int>(seconds / 60.0);
+    const double rem = seconds - 60.0 * minutes;
+    std::snprintf(buf, sizeof buf, "%dm%04.1fs", minutes, rem);
+  } else if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string format_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace pioblast::util

@@ -1,0 +1,22 @@
+// Size/time unit helpers used by drivers and bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pioblast::util {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Renders a byte count with a binary-unit suffix, e.g. "1.5 MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Renders seconds with adaptive precision, e.g. "0.42 s", "12.3 s", "3m05s".
+std::string format_seconds(double seconds);
+
+/// Renders a ratio as a percentage with one decimal, e.g. "95.6%".
+std::string format_percent(double fraction);
+
+}  // namespace pioblast::util

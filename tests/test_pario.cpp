@@ -1,0 +1,308 @@
+// Tests for the parallel I/O layer: virtual file system semantics, timed
+// individual I/O, file views, and the two-phase collective read/write —
+// including property-style sweeps over rank counts and aggregator counts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpisim/runtime.h"
+#include "pario/collective.h"
+#include "pario/env.h"
+#include "pario/file.h"
+#include "pario/vfs.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace pioblast::pario {
+namespace {
+
+sim::ClusterConfig altix() { return sim::ClusterConfig::ornl_altix(); }
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+// ---------- VirtualFS -----------------------------------------------------
+
+TEST(Vfs, CreateWriteReadRoundTrip) {
+  VirtualFS fs;
+  const auto data = pattern(1000, 1);
+  fs.write_all("a/b.txt", data);
+  EXPECT_TRUE(fs.exists("a/b.txt"));
+  EXPECT_EQ(fs.size("a/b.txt"), 1000u);
+  EXPECT_EQ(fs.read_all("a/b.txt"), data);
+}
+
+TEST(Vfs, PwriteExtendsWithZeroFill) {
+  VirtualFS fs;
+  const std::vector<std::uint8_t> chunk{9, 9, 9};
+  fs.pwrite("f", 5, chunk);
+  EXPECT_EQ(fs.size("f"), 8u);
+  const auto all = fs.read_all("f");
+  EXPECT_EQ(all[0], 0);
+  EXPECT_EQ(all[4], 0);
+  EXPECT_EQ(all[5], 9);
+}
+
+TEST(Vfs, PreadRange) {
+  VirtualFS fs;
+  fs.write_all("f", pattern(100, 2));
+  const auto all = fs.read_all("f");
+  const auto mid = fs.pread("f", 10, 20);
+  EXPECT_TRUE(std::equal(mid.begin(), mid.end(), all.begin() + 10));
+}
+
+TEST(Vfs, PreadPastEofThrows) {
+  VirtualFS fs;
+  fs.write_all("f", pattern(10, 3));
+  EXPECT_THROW(fs.pread("f", 5, 10), util::ContractViolation);
+}
+
+TEST(Vfs, MissingFileThrows) {
+  VirtualFS fs;
+  EXPECT_THROW(fs.size("nope"), util::ContractViolation);
+  EXPECT_THROW(fs.read_all("nope"), util::ContractViolation);
+}
+
+TEST(Vfs, RemoveAndCreateTruncate) {
+  VirtualFS fs;
+  fs.write_all("f", pattern(10, 4));
+  fs.remove("f");
+  EXPECT_FALSE(fs.exists("f"));
+  fs.write_all("g", pattern(10, 5));
+  fs.create("g");
+  EXPECT_EQ(fs.size("g"), 0u);
+}
+
+TEST(Vfs, ListAndTotalBytes) {
+  VirtualFS fs;
+  fs.write_all("b", pattern(10, 6));
+  fs.write_all("a", pattern(5, 7));
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(fs.total_bytes(), 15u);
+}
+
+// ---------- ClusterStorage -------------------------------------------------
+
+TEST(ClusterStorage, AltixFallsBackToSharedScratch) {
+  ClusterStorage storage(altix(), 4);
+  EXPECT_FALSE(storage.has_local_disks());
+  EXPECT_EQ(&storage.local_for(2), &storage.shared());
+}
+
+TEST(ClusterStorage, BladeHasPrivateDisks) {
+  ClusterStorage storage(sim::ClusterConfig::ncsu_blade(), 4);
+  EXPECT_TRUE(storage.has_local_disks());
+  EXPECT_NE(&storage.local_for(1), &storage.shared());
+  EXPECT_NE(&storage.local_for(1), &storage.local_for(2));
+  // Files on one node's disk are invisible to another's.
+  storage.local_for(1).write_all("x", pattern(4, 8));
+  EXPECT_FALSE(storage.local_for(2).exists("x"));
+}
+
+// ---------- timed individual I/O -------------------------------------------
+
+TEST(TimedIo, ChargesClockAndMovesBytes) {
+  VirtualFS fs(sim::StorageModel::xfs_parallel());
+  const auto data = pattern(1 << 20, 9);
+  fs.write_all("f", data);
+  const auto report = mpisim::run(1, altix(), [&](mpisim::Process& p) {
+    const auto read = timed_read_all(p, fs, "f", 1);
+    EXPECT_EQ(read, data);
+    EXPECT_GT(p.now(), 0.0);
+  });
+  EXPECT_GT(report.makespan(), 0.0);
+}
+
+TEST(TimedIo, CopyBetweenFileSystems) {
+  VirtualFS src(sim::StorageModel::xfs_parallel());
+  VirtualFS dst(sim::StorageModel::local_disk());
+  const auto data = pattern(4096, 10);
+  src.write_all("f", data);
+  mpisim::run(1, altix(), [&](mpisim::Process& p) {
+    timed_copy(p, src, "f", dst, "g", 1);
+  });
+  EXPECT_EQ(dst.read_all("g"), data);
+}
+
+// ---------- FileView --------------------------------------------------------
+
+TEST(FileView, ExtentSumsRegions) {
+  FileView v({{0, 10}, {20, 5}});
+  EXPECT_EQ(v.extent(), 15u);
+}
+
+TEST(FileView, RejectsOverlapsAndDisorder) {
+  EXPECT_THROW(FileView({{10, 10}, {5, 2}}), util::ContractViolation);
+  EXPECT_THROW(FileView({{0, 10}, {5, 10}}), util::ContractViolation);
+}
+
+TEST(FileView, AppendEnforcesOrder) {
+  FileView v;
+  v.append({0, 10});
+  v.append({10, 1});  // adjacent is legal
+  EXPECT_THROW(v.append({5, 1}), util::ContractViolation);
+}
+
+// ---------- collective write -------------------------------------------------
+
+/// Interleaved regions across ranks: rank r owns blocks r, r+P, r+2P, ...
+/// of a file of `blocks` fixed-size blocks — the access pattern of
+/// pioBLAST's alignment output.
+void run_interleaved_collective_write(int nprocs, int blocks, int block_size,
+                                      int aggregators) {
+  VirtualFS fs(sim::StorageModel::xfs_parallel());
+  const auto expect =
+      pattern(static_cast<std::size_t>(blocks) * block_size, 77);
+  const auto report = mpisim::run(nprocs, altix(), [&](mpisim::Process& p) {
+    FileView view;
+    std::vector<std::uint8_t> mine;
+    for (int b = p.rank(); b < blocks; b += p.size()) {
+      const std::uint64_t off = static_cast<std::uint64_t>(b) * block_size;
+      view.append({off, static_cast<std::uint64_t>(block_size)});
+      mine.insert(mine.end(), expect.begin() + off,
+                  expect.begin() + off + block_size);
+    }
+    CollectiveConfig cfg;
+    cfg.aggregators = aggregators;
+    collective_write(p, fs, "out", view, mine, cfg);
+  });
+  EXPECT_EQ(fs.read_all("out"), expect);
+  EXPECT_GT(report.makespan(), 0.0);
+}
+
+struct CollectiveCase {
+  int nprocs;
+  int blocks;
+  int block_size;
+  int aggregators;
+};
+
+class CollectiveWriteSweep : public ::testing::TestWithParam<CollectiveCase> {};
+
+TEST_P(CollectiveWriteSweep, ReassemblesInterleavedRegions) {
+  const auto c = GetParam();
+  run_interleaved_collective_write(c.nprocs, c.blocks, c.block_size,
+                                   c.aggregators);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CollectiveWriteSweep,
+    ::testing::Values(CollectiveCase{2, 8, 100, 1}, CollectiveCase{3, 10, 64, 2},
+                      CollectiveCase{4, 16, 256, 4}, CollectiveCase{5, 7, 33, 3},
+                      CollectiveCase{8, 64, 128, 4}, CollectiveCase{8, 64, 128, 8},
+                      CollectiveCase{6, 5, 1, 4}, CollectiveCase{9, 100, 17, 2}));
+
+TEST(CollectiveWrite, EmptyViewsEverywhereIsANoOp) {
+  VirtualFS fs(sim::StorageModel::xfs_parallel());
+  mpisim::run(3, altix(), [&](mpisim::Process& p) {
+    collective_write(p, fs, "out", FileView{}, {}, {});
+  });
+  // The file may or may not exist, but it must hold no data.
+  if (fs.exists("out")) EXPECT_EQ(fs.size("out"), 0u);
+}
+
+TEST(CollectiveWrite, SingleRankHoldsAllData) {
+  VirtualFS fs(sim::StorageModel::xfs_parallel());
+  const auto data = pattern(1000, 12);
+  mpisim::run(4, altix(), [&](mpisim::Process& p) {
+    if (p.rank() == 2) {
+      collective_write(p, fs, "out", FileView({{0, 1000}}), data, {});
+    } else {
+      collective_write(p, fs, "out", FileView{}, {}, {});
+    }
+  });
+  EXPECT_EQ(fs.read_all("out"), data);
+}
+
+TEST(CollectiveWrite, MismatchedBufferThrows) {
+  VirtualFS fs;
+  EXPECT_THROW(
+      mpisim::run(2, altix(),
+                  [&](mpisim::Process& p) {
+                    collective_write(p, fs, "out", FileView({{0, 10}}),
+                                     std::vector<std::uint8_t>(5), {});
+                  }),
+      util::ContractViolation);
+}
+
+TEST(CollectiveWrite, WritesAtLargeOffsets) {
+  VirtualFS fs(sim::StorageModel::xfs_parallel());
+  const std::uint64_t base = 1ull << 22;
+  const auto data = pattern(100, 13);
+  mpisim::run(2, altix(), [&](mpisim::Process& p) {
+    if (p.rank() == 0) {
+      collective_write(p, fs, "out", FileView({{base, 100}}), data, {});
+    } else {
+      collective_write(p, fs, "out", FileView{}, {}, {});
+    }
+  });
+  EXPECT_EQ(fs.size("out"), base + 100);
+  EXPECT_EQ(fs.pread("out", base, 100), data);
+}
+
+// ---------- collective read ---------------------------------------------------
+
+class CollectiveReadSweep : public ::testing::TestWithParam<CollectiveCase> {};
+
+TEST_P(CollectiveReadSweep, EachRankReadsItsInterleavedBlocks) {
+  const auto c = GetParam();
+  VirtualFS fs(sim::StorageModel::xfs_parallel());
+  const auto file =
+      pattern(static_cast<std::size_t>(c.blocks) * c.block_size, 99);
+  fs.write_all("db", file);
+  mpisim::run(c.nprocs, altix(), [&](mpisim::Process& p) {
+    FileView view;
+    std::vector<std::uint8_t> expect;
+    for (int b = p.rank(); b < c.blocks; b += p.size()) {
+      const std::uint64_t off = static_cast<std::uint64_t>(b) * c.block_size;
+      view.append({off, static_cast<std::uint64_t>(c.block_size)});
+      expect.insert(expect.end(), file.begin() + off,
+                    file.begin() + off + c.block_size);
+    }
+    CollectiveConfig cfg;
+    cfg.aggregators = c.aggregators;
+    const auto got = collective_read(p, fs, "db", view, cfg);
+    EXPECT_EQ(got, expect);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CollectiveReadSweep,
+    ::testing::Values(CollectiveCase{2, 8, 100, 1}, CollectiveCase{3, 9, 50, 2},
+                      CollectiveCase{4, 32, 64, 4}, CollectiveCase{7, 13, 21, 3},
+                      CollectiveCase{8, 40, 512, 8}));
+
+TEST(CollectiveRead, ContiguousRangePerRank) {
+  // The pioBLAST input pattern: each rank reads one contiguous slice.
+  VirtualFS fs(sim::StorageModel::xfs_parallel());
+  const auto file = pattern(10000, 21);
+  fs.write_all("db", file);
+  mpisim::run(5, altix(), [&](mpisim::Process& p) {
+    const std::uint64_t chunk = 2000;
+    const std::uint64_t off = static_cast<std::uint64_t>(p.rank()) * chunk;
+    const auto got = collective_read(p, fs, "db", FileView({{off, chunk}}), {});
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), file.begin() + off));
+  });
+}
+
+TEST(Collective, WriteThenReadRoundTripsThroughSharedFile) {
+  VirtualFS fs(sim::StorageModel::nfs_server());
+  const auto data = pattern(3000, 31);
+  mpisim::run(3, sim::ClusterConfig::ncsu_blade(), [&](mpisim::Process& p) {
+    const std::uint64_t chunk = 1000;
+    const std::uint64_t off = static_cast<std::uint64_t>(p.rank()) * chunk;
+    std::vector<std::uint8_t> mine(data.begin() + off,
+                                   data.begin() + off + chunk);
+    collective_write(p, fs, "f", FileView({{off, chunk}}), mine, {});
+    const auto back = collective_read(p, fs, "f", FileView({{off, chunk}}), {});
+    EXPECT_EQ(back, mine);
+  });
+  EXPECT_EQ(fs.read_all("f"), data);
+}
+
+}  // namespace
+}  // namespace pioblast::pario

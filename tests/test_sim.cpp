@@ -1,0 +1,139 @@
+// Unit tests for the sim substrate: clocks, network/storage cost models,
+// the compute cost model, and cluster presets.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/cost_model.h"
+#include "sim/network.h"
+#include "sim/storage.h"
+#include "sim/time.h"
+#include "util/error.h"
+
+namespace pioblast::sim {
+namespace {
+
+TEST(Clock, AdvancesMonotonically) {
+  Clock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  c.advance(1.5);
+  c.advance(-3.0);  // negative durations are ignored
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.advance_to(1.0);  // never moves backwards
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.advance_to(2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+}
+
+TEST(Network, SendCostScalesWithBytes) {
+  const NetworkModel net = NetworkModel::altix_numalink();
+  EXPECT_LT(net.send_cost(1), net.send_cost(1 << 20));
+  const Time small = net.send_cost(0);
+  EXPECT_DOUBLE_EQ(small, net.params().send_overhead);
+}
+
+TEST(Network, TransferDecomposition) {
+  const NetworkModel net = NetworkModel::gigabit_ethernet();
+  const std::uint64_t n = 1 << 20;
+  EXPECT_DOUBLE_EQ(net.transfer_time(n),
+                   net.send_cost(n) + net.wire_latency() + net.recv_cost(n));
+}
+
+TEST(Network, AltixIsFasterThanEthernet) {
+  const NetworkModel altix = NetworkModel::altix_numalink();
+  const NetworkModel gige = NetworkModel::gigabit_ethernet();
+  EXPECT_LT(altix.transfer_time(1 << 20), gige.transfer_time(1 << 20));
+  EXPECT_LT(altix.wire_latency(), gige.wire_latency());
+}
+
+TEST(Storage, ReadScalesDownWithConcurrencyOnSharedDevices) {
+  const StorageModel xfs = StorageModel::xfs_parallel();
+  // One client cannot exceed its own link; many clients share the ceiling.
+  EXPECT_LE(xfs.effective_read_bandwidth(1), xfs.params().client_read_bw);
+  EXPECT_LT(xfs.effective_read_bandwidth(64), xfs.effective_read_bandwidth(4));
+}
+
+TEST(Storage, LocalDiskIgnoresConcurrency) {
+  const StorageModel disk = StorageModel::local_disk();
+  EXPECT_DOUBLE_EQ(disk.effective_read_bandwidth(1),
+                   disk.effective_read_bandwidth(64));
+}
+
+TEST(Storage, NfsLatencyGrowsWithClients) {
+  const StorageModel nfs = StorageModel::nfs_server();
+  EXPECT_LT(nfs.read_seconds(0, 1), nfs.read_seconds(0, 8));
+}
+
+TEST(Storage, ParallelFsLatencyConstant) {
+  const StorageModel xfs = StorageModel::xfs_parallel();
+  EXPECT_DOUBLE_EQ(xfs.read_seconds(0, 1), xfs.read_seconds(0, 8));
+}
+
+TEST(Storage, XfsReadsMuchFasterThanWritesAggregate) {
+  const StorageModel xfs = StorageModel::xfs_parallel();
+  const std::uint64_t gb = 1ull << 30;
+  // The paper's asymmetry: a 1 GB parallel read is sub-second-scale, a
+  // concurrent 1 GB write to shared scratch is tens of seconds.
+  EXPECT_LT(xfs.read_seconds(gb, 30) * 10, xfs.write_seconds(gb, 30));
+}
+
+TEST(Storage, InvalidConcurrencyThrows) {
+  const StorageModel xfs = StorageModel::xfs_parallel();
+  EXPECT_THROW(xfs.read_seconds(1, 0), util::ContractViolation);
+}
+
+TEST(CostModel, SearchSecondsLinearInCounters) {
+  const CostModel cost;
+  SearchCounters c;
+  c.db_residues_scanned = 1000;
+  const Time t1 = cost.search_seconds(c);
+  c.db_residues_scanned = 2000;
+  EXPECT_NEAR(cost.search_seconds(c), 2 * t1, 1e-12);
+}
+
+TEST(CostModel, ScaleMultipliesEverything) {
+  CostModel::Params p;
+  p.scale = 3.0;
+  const CostModel scaled(p);
+  const CostModel plain;
+  SearchCounters c;
+  c.gapped_cells = 12345;
+  EXPECT_NEAR(scaled.search_seconds(c), 3 * plain.search_seconds(c), 1e-12);
+  EXPECT_NEAR(scaled.merge_seconds(10), 3 * plain.merge_seconds(10), 1e-15);
+  EXPECT_NEAR(scaled.format_seconds(10), 3 * plain.format_seconds(10), 1e-15);
+}
+
+TEST(CostModel, CountersAccumulate) {
+  SearchCounters a, b;
+  a.seed_hits = 3;
+  a.gapped_cells = 10;
+  b.seed_hits = 4;
+  b.hsps_found = 2;
+  a += b;
+  EXPECT_EQ(a.seed_hits, 7u);
+  EXPECT_EQ(a.gapped_cells, 10u);
+  EXPECT_EQ(a.hsps_found, 2u);
+}
+
+TEST(Cluster, AltixPresetHasNoLocalDisks) {
+  const ClusterConfig altix = ClusterConfig::ornl_altix();
+  EXPECT_FALSE(altix.has_local_disks());
+  EXPECT_EQ(altix.shared_storage.name(), "xfs");
+}
+
+TEST(Cluster, BladePresetHasLocalDisksAndNfs) {
+  const ClusterConfig blade = ClusterConfig::ncsu_blade();
+  EXPECT_TRUE(blade.has_local_disks());
+  EXPECT_EQ(blade.shared_storage.name(), "nfs");
+  EXPECT_EQ(blade.local_disks->kind(), StorageKind::kLocalDisk);
+}
+
+TEST(Cluster, BladeSharedFsIsSlowerThanAltix) {
+  const ClusterConfig altix = ClusterConfig::ornl_altix();
+  const ClusterConfig blade = ClusterConfig::ncsu_blade();
+  const std::uint64_t mb = 1 << 20;
+  EXPECT_LT(altix.shared_storage.read_seconds(mb, 8),
+            blade.shared_storage.read_seconds(mb, 8));
+}
+
+}  // namespace
+}  // namespace pioblast::sim

@@ -1,0 +1,78 @@
+// Tests for heterogeneous-node support and the compute/IO time split.
+#include <gtest/gtest.h>
+
+#include "mpisim/runtime.h"
+#include "pario/file.h"
+#include "pario/vfs.h"
+#include "sim/cluster.h"
+
+namespace pioblast {
+namespace {
+
+TEST(Hetero, SpeedOfDefaultsToNominal) {
+  sim::ClusterConfig c = sim::ClusterConfig::ornl_altix();
+  EXPECT_DOUBLE_EQ(c.speed_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.speed_of(100), 1.0);
+  c.node_speed = {1.0, 0.5};
+  EXPECT_DOUBLE_EQ(c.speed_of(1), 0.5);
+  EXPECT_DOUBLE_EQ(c.speed_of(2), 1.0);  // beyond the vector: nominal
+  EXPECT_DOUBLE_EQ(c.speed_of(-1), 1.0);
+}
+
+TEST(Hetero, ZeroSpeedTreatedAsNominal) {
+  sim::ClusterConfig c = sim::ClusterConfig::ornl_altix();
+  c.node_speed = {0.0, -2.0};
+  EXPECT_DOUBLE_EQ(c.speed_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.speed_of(1), 1.0);
+}
+
+TEST(Hetero, ComputeScalesWithNodeSpeed) {
+  sim::ClusterConfig c = sim::ClusterConfig::ornl_altix();
+  c.node_speed = {1.0, 0.5, 2.0};
+  const auto report = mpisim::run(3, c, [](mpisim::Process& p) {
+    p.compute(10.0);
+  });
+  EXPECT_DOUBLE_EQ(report.ranks[0].final_clock, 10.0);
+  EXPECT_DOUBLE_EQ(report.ranks[1].final_clock, 20.0);  // half speed
+  EXPECT_DOUBLE_EQ(report.ranks[2].final_clock, 5.0);   // double speed
+}
+
+TEST(Hetero, IoWaitIgnoresNodeSpeed) {
+  sim::ClusterConfig c = sim::ClusterConfig::ornl_altix();
+  c.node_speed = {0.5, 0.5};
+  pario::VirtualFS fs(c.shared_storage);
+  fs.write_all("f", std::vector<std::uint8_t>(1 << 20));
+  double fast_time = 0;
+  {
+    const auto nominal = sim::ClusterConfig::ornl_altix();
+    const auto report = mpisim::run(1, nominal, [&](mpisim::Process& p) {
+      (void)pario::timed_read_all(p, fs, "f", 1);
+    });
+    fast_time = report.makespan();
+  }
+  const auto report = mpisim::run(2, c, [&](mpisim::Process& p) {
+    (void)pario::timed_read_all(p, fs, "f", 1);
+  });
+  // I/O duration is a device property, not a CPU property.
+  EXPECT_DOUBLE_EQ(report.ranks[0].final_clock, fast_time);
+  EXPECT_DOUBLE_EQ(report.ranks[1].final_clock, fast_time);
+}
+
+TEST(Hetero, MessagingUnaffectedByNodeSpeed) {
+  sim::ClusterConfig slow = sim::ClusterConfig::ornl_altix();
+  slow.node_speed = {0.25, 0.25};
+  const auto fast = sim::ClusterConfig::ornl_altix();
+  auto job = [](mpisim::Process& p) {
+    if (p.rank() == 0) {
+      p.send(1, 1, std::vector<std::uint8_t>(1000));
+    } else {
+      p.recv(0, 1);
+    }
+  };
+  const auto a = mpisim::run(2, fast, job);
+  const auto b = mpisim::run(2, slow, job);
+  EXPECT_DOUBLE_EQ(a.ranks[1].final_clock, b.ranks[1].final_clock);
+}
+
+}  // namespace
+}  // namespace pioblast
