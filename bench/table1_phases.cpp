@@ -59,5 +59,7 @@ int main(int argc, char** argv) {
   std::printf("speedup (total): %.2fx; output-phase speedup: %.2fx\n",
               mpi.phases.total / pio.phases.total,
               mpi.phases.output / std::max(pio.phases.output, 1e-9));
+  bench::emit_metrics("mpiblast", mpi);
+  bench::emit_metrics("pioblast", pio);
   return bench::finish(table, argc, argv);
 }

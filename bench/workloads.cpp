@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "driver/metrics.h"
 #include "pario/env.h"
 #include "seqdb/partition.h"
 
@@ -214,6 +215,11 @@ blast::DriverResult run_pioblast_job(const sim::ClusterConfig& cluster,
 
 void print_banner(const std::string& title, const std::string& detail) {
   std::printf("=== %s ===\n%s\n\n", title.c_str(), detail.c_str());
+}
+
+void emit_metrics(const std::string& label, const blast::DriverResult& result) {
+  std::printf("METRICS %s %s\n", label.c_str(),
+              driver::metrics_json(result.metrics).c_str());
 }
 
 int finish(const util::Table& table, int argc, const char* const* argv) {

@@ -78,6 +78,10 @@ blast::DriverResult run_pioblast_job(const sim::ClusterConfig& cluster,
 /// Prints a one-line experiment banner (database/query/cluster summary).
 void print_banner(const std::string& title, const std::string& detail);
 
+/// Prints the run's structured counters as one machine-readable line:
+/// `METRICS <label> {"name":value,...}` (names sorted; see driver/metrics.h).
+void emit_metrics(const std::string& label, const blast::DriverResult& result);
+
 /// If argv[1] is given, writes `table` there as CSV (so figure data can be
 /// re-plotted); always returns 0 so benches can `return finish(...)`.
 int finish(const util::Table& table, int argc, const char* const* argv);

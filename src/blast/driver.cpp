@@ -20,6 +20,13 @@ PhaseBreakdown summarize_run(const mpisim::RunReport& report) {
     out.search = r.phases.get("search");
   }
   out.output = report.phase_of(0, "output");
+  // The buckets come from *different* ranks (slowest worker vs master), so
+  // under extreme imbalance their raw sum can exceed the makespan. Clamp
+  // sequentially so copy + search + output <= total always holds and each
+  // bucket stays non-negative — the invariant the breakdown tests assert.
+  out.copy_input = std::min(out.copy_input, out.total);
+  out.search = std::min(out.search, out.total - out.copy_input);
+  out.output = std::min(out.output, out.total - out.copy_input - out.search);
   out.other = std::max(0.0, out.total - out.copy_input - out.search - out.output);
   return out;
 }

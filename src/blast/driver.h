@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "mpisim/runtime.h"
 
@@ -32,6 +34,9 @@ struct DriverResult {
   std::uint64_t output_bytes = 0;
   std::uint64_t candidates_merged = 0;    ///< records screened by the master
   std::uint64_t alignments_reported = 0;  ///< alignments in the final output
+  /// Full structured-counter snapshot (driver::RunMetrics). Superset of the
+  /// three legacy fields above, which are kept for existing callers.
+  std::map<std::string, std::uint64_t> metrics;
 };
 
 }  // namespace pioblast::blast

@@ -59,7 +59,7 @@ inline Hsp decode_hsp(mpisim::Decoder& dec) {
 }
 
 /// Lean candidate record — the pioBLAST result-submission record. Fixed
-/// size (56 bytes on the wire), independent of alignment length.
+/// size (48 bytes on the wire), independent of alignment length.
 struct CandidateMeta {
   std::uint32_t query_id = 0;
   std::uint32_t local_index = 0;  ///< index into the owner's result cache
@@ -110,3 +110,26 @@ inline CandidateMeta decode_candidate(mpisim::Decoder& dec) {
 }
 
 }  // namespace pioblast::blast
+
+namespace pioblast::mpisim {
+
+/// Typed-channel bindings delegating to the shared serializers above.
+template <>
+struct WireCodec<blast::Hsp> {
+  static void encode(Encoder& enc, const blast::Hsp& h) {
+    blast::encode_hsp(enc, h);
+  }
+  static blast::Hsp decode(Decoder& dec) { return blast::decode_hsp(dec); }
+};
+
+template <>
+struct WireCodec<blast::CandidateMeta> {
+  static void encode(Encoder& enc, const blast::CandidateMeta& c) {
+    blast::encode_candidate(enc, c);
+  }
+  static blast::CandidateMeta decode(Decoder& dec) {
+    return blast::decode_candidate(dec);
+  }
+};
+
+}  // namespace pioblast::mpisim

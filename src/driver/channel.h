@@ -1,0 +1,68 @@
+// Typed wire channels: one tag + one WireCodec<T> = one Channel<T>.
+//
+// Drivers used to hand-roll Encoder/Decoder sequences at every send/recv
+// site, so the two ends of a protocol could silently drift apart. A
+// Channel binds a message type to its registry tag (driver/tags.h); both
+// ends go through the same codec, and every receive asserts the payload
+// was consumed exactly — a framing bug throws instead of corrupting the
+// next field.
+#pragma once
+
+#include "mpisim/process.h"
+#include "mpisim/wire.h"
+#include "util/error.h"
+
+namespace pioblast::driver {
+
+/// Encoded size of `value` on the wire — what a Channel<T>::send of it
+/// would inject. Used by cost hooks that charge for marshalling.
+template <typename T>
+std::uint64_t wire_size(const T& value) {
+  mpisim::Encoder enc;
+  enc.put_obj(value);
+  return enc.size();
+}
+
+template <typename T>
+class Channel {
+ public:
+  constexpr explicit Channel(int tag) : tag_(tag) {}
+
+  int tag() const { return tag_; }
+
+  void send(mpisim::Process& p, int dst, const T& value) const {
+    mpisim::Encoder enc;
+    enc.put_obj(value);
+    p.send(dst, tag_, enc.bytes());
+  }
+
+  T recv(mpisim::Process& p, int src) const {
+    return decode(p.recv(src, tag_));
+  }
+
+  struct From {
+    int src = 0;
+    T value{};
+  };
+
+  /// Receive from any rank; returns the sender alongside the value.
+  From recv_any(mpisim::Process& p) const {
+    mpisim::Message msg = p.recv(mpisim::kAnySource, tag_);
+    const int src = msg.src;
+    return {src, decode(std::move(msg))};
+  }
+
+ private:
+  T decode(mpisim::Message msg) const {
+    mpisim::Decoder dec(msg.payload);
+    T value = dec.get_obj<T>();
+    PIOBLAST_CHECK_MSG(dec.exhausted(),
+                       "channel tag " << tag_ << ": " << dec.remaining()
+                                      << " undecoded payload bytes");
+    return value;
+  }
+
+  int tag_;
+};
+
+}  // namespace pioblast::driver

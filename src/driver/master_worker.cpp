@@ -1,0 +1,90 @@
+#include "driver/master_worker.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "mpisim/runtime.h"
+#include "pario/file.h"
+#include "util/error.h"
+
+namespace pioblast::driver {
+
+MasterWorkerApp::MasterWorkerApp(const sim::ClusterConfig& cluster, int nprocs,
+                                 pario::ClusterStorage& storage,
+                                 const blast::JobConfig& job,
+                                 std::shared_ptr<const blast::QuerySet> queries,
+                                 mpisim::Tracer* tracer)
+    : cluster_(cluster),
+      nprocs_(nprocs),
+      storage_(storage),
+      job_(job),
+      queries_(std::move(queries)),
+      tracer_(tracer),
+      topology_(WorkerTopology::from_cluster(cluster, nprocs)) {
+  PIOBLAST_CHECK_MSG(nprocs >= 2, "drivers need a master and >= 1 worker");
+  PIOBLAST_CHECK(queries_ != nullptr);
+}
+
+void MasterWorkerApp::init_stage(mpisim::Process& p) {
+  p.set_phase("other");
+  p.compute(p.cost().process_init_seconds());
+  std::vector<std::uint8_t> query_bytes;
+  if (p.is_root()) {
+    query_bytes =
+        pario::timed_read_all(p, storage_.shared(), job_.query_path, 1);
+  }
+  p.bcast(query_bytes, 0);
+}
+
+void MasterWorkerApp::body(mpisim::Process& p) {
+  if (p.is_root()) {
+    master(p);
+  } else {
+    worker(p);
+  }
+}
+
+void MasterWorkerApp::master(mpisim::Process&) {
+  PIOBLAST_CHECK_MSG(false, "driver overrides neither body() nor master()");
+}
+
+void MasterWorkerApp::worker(mpisim::Process&) {
+  PIOBLAST_CHECK_MSG(false, "driver overrides neither body() nor worker()");
+}
+
+blast::DriverResult MasterWorkerApp::run() {
+  blast::DriverResult result;
+  result.report = mpisim::run(
+      nprocs_, cluster_,
+      [this](mpisim::Process& p) {
+        init_stage(p);
+        body(p);
+        p.barrier();
+        // Mirror the final counters into the trace stream so a trace file
+        // is self-describing. After the barrier every rank has finished
+        // counting, so the snapshot is complete.
+        if (tracer_ != nullptr && p.is_root()) {
+          for (const auto& [name, value] : metrics_.snapshot())
+            p.mark("metric " + name + "=" + std::to_string(value));
+        }
+      },
+      tracer_);
+  result.phases = blast::summarize_run(result.report);
+
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_messages = 0;
+  for (const auto& rank : result.report.ranks) {
+    wire_bytes += rank.bytes_sent;
+    wire_messages += rank.messages_sent;
+  }
+  metrics_.set(kMetricWireBytes, wire_bytes);
+  metrics_.set(kMetricWireMessages, wire_messages);
+
+  result.metrics = metrics_.snapshot();
+  result.output_bytes = metrics_.get(kMetricOutputBytes);
+  result.candidates_merged = metrics_.get(kMetricCandidatesMerged);
+  result.alignments_reported = metrics_.get(kMetricAlignmentsReported);
+  return result;
+}
+
+}  // namespace pioblast::driver

@@ -1,0 +1,83 @@
+// Pluggable task schedulers for the master/worker drivers.
+//
+// A "task" is an opaque index (an mpiBLAST physical fragment, a pioBLAST
+// virtual fragment range). The scheduler decides which task a given worker
+// receives next; the delivery mechanism is shared (driver/work_queue.h for
+// the online request loop, or an upfront plan() for drivers that pre-send
+// their assignments, e.g. pioBLAST's static range distribution — the only
+// mode compatible with collective input, whose round structure must be
+// known before the run).
+//
+// Policies:
+//   * GreedyDynamic      — the paper's §2.2/§5 first-come-first-served
+//                          master loop: the next un-searched task goes to
+//                          whichever worker asks first.
+//   * StaticRoundRobin   — task t -> worker (t mod W), the historical
+//                          pioBLAST static assignment.
+//   * SpeedWeightedStatic — heterogeneity-aware: tasks are apportioned to
+//                          workers proportionally to their node speeds
+//                          (sim::ClusterConfig::node_speed) with a D'Hondt
+//                          divisor sweep, so a half-speed node receives
+//                          half the fragments. Fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace pioblast::driver {
+
+/// Selects the scheduling policy in MpiBlastOptions / PioBlastOptions.
+enum class SchedulerKind {
+  kGreedyDynamic = 0,
+  kStaticRoundRobin = 1,
+  kSpeedWeighted = 2,
+};
+
+std::string_view to_string(SchedulerKind kind);
+
+/// Parses "greedy" | "roundrobin" | "speed-weighted" (throws on others).
+SchedulerKind parse_scheduler(std::string_view name);
+
+/// What a scheduler knows about the worker pool: count and relative node
+/// speeds (speed[w] belongs to worker w, i.e. rank w+1).
+struct WorkerTopology {
+  int nworkers = 0;
+  std::vector<double> speed;
+
+  static WorkerTopology from_cluster(const sim::ClusterConfig& cluster,
+                                     int nprocs);
+};
+
+/// Task-assignment policy. Stateful: reset() then next() per request.
+class Scheduler {
+ public:
+  static constexpr std::int64_t kNoTask = -1;
+
+  virtual ~Scheduler() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// True when the full assignment is a function of (ntasks, topology)
+  /// alone — i.e. it can be computed and distributed before the run.
+  virtual bool is_static() const = 0;
+
+  /// Prepares for a run handing out tasks [0, ntasks).
+  virtual void reset(std::uint32_t ntasks, const WorkerTopology& topo) = 0;
+
+  /// Next task for `worker` (0-based), or kNoTask when it has drained.
+  virtual std::int64_t next(int worker) = 0;
+
+  /// Upfront per-worker plans (ordered task lists). Only valid for static
+  /// policies; resets internal state.
+  std::vector<std::vector<std::uint32_t>> plan(std::uint32_t ntasks,
+                                               const WorkerTopology& topo);
+};
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind);
+
+}  // namespace pioblast::driver

@@ -1,0 +1,56 @@
+// Central registry of every driver-level message tag.
+//
+// Historically mpiBLAST and pioBLAST each declared their own anonymous tag
+// constants (1–4 and 10–13 respectively) in their translation units, so
+// nothing stopped a new tag in one driver from colliding with the other —
+// or with the runtime's internal collective band. Every driver tag now
+// lives here, uniqueness and band membership are enforced at compile time,
+// and a new protocol (fault injection, new storage backends) claims its tag
+// by adding one enumerator to this file.
+#pragma once
+
+#include "mpisim/process.h"
+
+namespace pioblast::driver {
+
+/// All point-to-point tags the drivers use. Values are part of the trace
+/// format (tests and tooling grep `tag=<n>` in timelines), so existing
+/// numbers are kept stable.
+enum Tag : int {
+  // Shared work-queue protocol (driver/work_queue.h): both drivers'
+  // master/worker scheduling loops run over these two tags.
+  kTagWorkReq = 1,  ///< worker -> master: request the next task
+  kTagAssign = 2,   ///< master -> worker: task assignment or retirement
+
+  // mpiBLAST's serialized per-alignment result fetching (paper Figure 2,
+  // right).
+  kTagFetchReq = 3,   ///< master -> worker: fetch one subject's data
+  kTagFetchResp = 4,  ///< worker -> master: defline + residues
+
+  // pioBLAST's range distribution and parallel-output offset protocol.
+  kTagRanges = 10,  ///< master -> worker: static virtual-fragment plan
+  kTagSelect = 11,  ///< master -> worker: output buffer selections+offsets
+};
+
+namespace detail {
+
+constexpr int kAllTags[] = {kTagWorkReq, kTagAssign,  kTagFetchReq,
+                            kTagFetchResp, kTagRanges, kTagSelect};
+
+constexpr bool all_unique_and_in_band() {
+  for (std::size_t i = 0; i < std::size(kAllTags); ++i) {
+    if (kAllTags[i] < 0 || kAllTags[i] >= mpisim::kDriverTagLimit) return false;
+    for (std::size_t j = i + 1; j < std::size(kAllTags); ++j) {
+      if (kAllTags[i] == kAllTags[j]) return false;
+    }
+  }
+  return true;
+}
+
+static_assert(all_unique_and_in_band(),
+              "driver tags must be unique and below the runtime's internal "
+              "collective tag band");
+
+}  // namespace detail
+
+}  // namespace pioblast::driver

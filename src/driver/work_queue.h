@@ -1,0 +1,77 @@
+// The online master/worker work queue shared by both drivers.
+//
+// Protocol (tags from driver/tags.h):
+//   worker -> master  kTagWorkReq   empty payload ("give me work")
+//   master -> worker  kTagAssign    u8 has_task; if 1: u32 task id followed
+//                                   by an optional driver-specific payload
+//                                   (pioBLAST appends the FragmentRange).
+//
+// The master keeps serving until every worker has been retired with a
+// has_task=0 reply. Which worker gets which task is entirely the
+// Scheduler's decision; this file only moves the bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "driver/metrics.h"
+#include "driver/scheduler.h"
+#include "driver/tags.h"
+#include "mpisim/process.h"
+#include "mpisim/wire.h"
+#include "util/error.h"
+
+namespace pioblast::driver {
+
+/// Master side: answer work requests until all workers are retired.
+/// `payload(enc, task)` appends the driver-specific task body to an
+/// affirmative reply (pass {} when the task id alone is the message).
+/// Counts handed-out tasks into `metrics` under kMetricTasksAssigned.
+inline void serve_work(
+    mpisim::Process& p, Scheduler& sched, std::uint32_t ntasks,
+    const WorkerTopology& topo,
+    const std::function<void(mpisim::Encoder&, std::uint32_t)>& payload,
+    RunMetrics* metrics) {
+  sched.reset(ntasks, topo);
+  int active = topo.nworkers;
+  while (active > 0) {
+    mpisim::Message req = p.recv(mpisim::kAnySource, kTagWorkReq);
+    const int worker = req.src - 1;  // rank 0 is the master
+    const std::int64_t task = sched.next(worker);
+    mpisim::Encoder reply;
+    if (task == Scheduler::kNoTask) {
+      reply.put<std::uint8_t>(0);
+      --active;
+    } else {
+      reply.put<std::uint8_t>(1).put(static_cast<std::uint32_t>(task));
+      if (payload) payload(reply, static_cast<std::uint32_t>(task));
+      if (metrics) metrics->add(kMetricTasksAssigned, 1);
+    }
+    p.send(req.src, kTagAssign, reply.bytes());
+  }
+}
+
+/// Worker side: one request/reply round trip. Returns the decoded task, or
+/// nullopt once the master retires this worker. `decode(task_id, dec)`
+/// turns the reply body into the driver's task type; the decoder holds
+/// only the optional payload appended by the master's `payload` hook.
+template <typename T>
+std::optional<T> request_work(
+    mpisim::Process& p,
+    const std::function<T(std::uint32_t, mpisim::Decoder&)>& decode) {
+  p.send(0, kTagWorkReq, {});
+  mpisim::Message reply = p.recv(0, kTagAssign);
+  mpisim::Decoder dec(reply.payload);
+  if (dec.get<std::uint8_t>() == 0) {
+    PIOBLAST_CHECK(dec.exhausted());
+    return std::nullopt;
+  }
+  const auto task_id = dec.get<std::uint32_t>();
+  T task = decode(task_id, dec);
+  PIOBLAST_CHECK_MSG(dec.exhausted(), "work reply: " << dec.remaining()
+                                                     << " undecoded bytes");
+  return task;
+}
+
+}  // namespace pioblast::driver

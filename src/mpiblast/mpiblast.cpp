@@ -1,13 +1,21 @@
 #include "mpiblast/mpiblast.h"
 
 #include <algorithm>
-#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "blast/engine.h"
 #include "blast/format.h"
 #include "blast/query_set.h"
 #include "blast/serialize.h"
-#include "mpisim/runtime.h"
+#include "driver/channel.h"
+#include "driver/master_worker.h"
+#include "driver/messages.h"
+#include "driver/search_stage.h"
+#include "driver/tags.h"
+#include "driver/work_queue.h"
 #include "mpisim/wire.h"
 #include "pario/file.h"
 #include "util/error.h"
@@ -16,21 +24,188 @@ namespace pioblast::mpiblast {
 
 namespace {
 
-// Driver message tags (below the runtime's internal band).
-constexpr int kTagWorkReq = 1;
-constexpr int kTagAssign = 2;
-constexpr int kTagFetchReq = 3;
-constexpr int kTagFetchResp = 4;
+constexpr driver::Channel<driver::FetchRequest> kFetchReq{driver::kTagFetchReq};
+constexpr driver::Channel<driver::FetchResponse> kFetchResp{
+    driver::kTagFetchResp};
 
-constexpr std::uint32_t kEndOfQuery = 0xFFFFFFFFu;
-constexpr std::int32_t kNoMoreWork = -1;
+class MpiBlastApp final : public driver::MasterWorkerApp {
+ public:
+  MpiBlastApp(const sim::ClusterConfig& cluster, int nprocs,
+              pario::ClusterStorage& storage, const MpiBlastOptions& opts,
+              std::shared_ptr<const blast::QuerySet> queries,
+              const blast::GlobalDbStats& db_stats)
+      : MasterWorkerApp(cluster, nprocs, storage, opts.job, std::move(queries),
+                        opts.tracer),
+        opts_(opts),
+        db_stats_(db_stats),
+        scheduler_(driver::make_scheduler(opts.scheduler)) {}
 
-/// One cached local result: the HSP plus where its subject lives.
-struct LocalHit {
-  blast::Hsp hsp;
-  std::size_t frag_slot = 0;  ///< index into the worker's loaded fragments
-  std::uint64_t local_id = 0; ///< sequence ordinal within that fragment
+ private:
+  void master(mpisim::Process& p) override;
+  void worker(mpisim::Process& p) override;
+
+  const MpiBlastOptions& opts_;
+  blast::GlobalDbStats db_stats_;
+  std::unique_ptr<driver::Scheduler> scheduler_;
 };
+
+void MpiBlastApp::master(mpisim::Process& p) {
+  const auto nfragments =
+      static_cast<std::uint32_t>(opts_.fragment_bases.size());
+  const auto& qset = queries();
+  const auto& query_list = qset.queries();
+  const auto& contexts = qset.contexts();
+  const seqdb::SeqType type = opts_.job.params.type;
+
+  // Fragment scheduler (paper §2.2): by default greedy — assign the next
+  // un-searched fragment to whichever worker asks first.
+  p.set_phase("search");
+  driver::serve_work(p, *scheduler_, nfragments, topology(), {}, &metrics());
+
+  // Serialized result merging and output (paper Figure 2, right).
+  p.set_phase("output");
+  std::uint64_t out_offset = 0;
+  std::uint64_t merged = 0;
+  std::uint64_t reported = 0;
+  for (std::uint32_t q = 0; q < qset.size(); ++q) {
+    auto gathered = p.gather({}, 0);
+    // Decode every worker's full local result list for this query.
+    struct Candidate {
+      blast::Hsp hsp;
+      int owner;
+      std::uint32_t local_index;
+    };
+    std::vector<Candidate> candidates;
+    std::uint64_t submitted_bytes = 0;
+    for (int w = 1; w < nprocs(); ++w) {
+      submitted_bytes += gathered[static_cast<std::size_t>(w)].size();
+      mpisim::Decoder dec(gathered[static_cast<std::size_t>(w)]);
+      const auto count = dec.get<std::uint32_t>();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Candidate c;
+        c.hsp = blast::decode_hsp(dec);
+        c.owner = w;
+        c.local_index = i;
+        candidates.push_back(std::move(c));
+      }
+    }
+    merged += candidates.size();
+    p.compute(p.cost().merge_seconds(candidates.size(), submitted_bytes));
+    // Every submitted record is a full alignment that must be threaded
+    // through the master's NCBI result structures before screening.
+    p.compute(p.cost().hsp_result_seconds(candidates.size()));
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return blast::Hsp::better(a.hsp, b.hsp);
+              });
+    if (candidates.size() >
+        static_cast<std::size_t>(opts_.job.params.hitlist_size)) {
+      candidates.resize(static_cast<std::size_t>(opts_.job.params.hitlist_size));
+    }
+    reported += candidates.size();
+
+    const bool tabular = opts_.job.output_format == blast::OutputFormat::kTabular;
+    std::string buffer =
+        tabular ? blast::format_tabular_query_header(
+                      query_list[q], opts_.job.db_title, candidates.size())
+                : blast::format_query_header(query_list[q], opts_.job.db_title,
+                                             db_stats_, candidates.size());
+    p.compute(p.cost().format_seconds(buffer.size()));
+    if (candidates.empty() && !tabular) buffer += blast::format_no_hits();
+    const auto query_residues = contexts[q].residues();
+
+    // Per-alignment synchronous fetch of sequence data from the owner.
+    for (const Candidate& c : candidates) {
+      kFetchReq.send(p, c.owner, driver::FetchRequest{c.local_index});
+      const driver::FetchResponse resp = kFetchResp.recv(p, c.owner);
+      p.compute(p.cost().fetch_handling_seconds(1));
+      const std::string text =
+          tabular ? blast::format_tabular_line(c.hsp, query_list[q].id,
+                                               resp.defline)
+                  : blast::format_alignment(c.hsp, type, query_residues,
+                                            resp.residues, resp.defline,
+                                            resp.subject_len, qset.matrix());
+      p.compute(p.cost().format_seconds(text.size()));
+      buffer += text;
+    }
+    // Release the workers from this query's serving loop.
+    for (int w = 1; w < nprocs(); ++w)
+      kFetchReq.send(p, w, driver::FetchRequest{driver::kEndOfQuery});
+
+    // Serial write of this query's report section.
+    pario::timed_write(
+        p, shared(), opts_.job.output_path, out_offset,
+        std::span(reinterpret_cast<const std::uint8_t*>(buffer.data()),
+                  buffer.size()),
+        1);
+    out_offset += buffer.size();
+  }
+  metrics().set(driver::kMetricCandidatesMerged, merged);
+  metrics().set(driver::kMetricAlignmentsReported, reported);
+  metrics().set(driver::kMetricOutputBytes, out_offset);
+}
+
+void MpiBlastApp::worker(mpisim::Process& p) {
+  const seqdb::SeqType type = opts_.job.params.type;
+  driver::SearchStage stage(queries(), &metrics());
+  pario::VirtualFS& local = storage().local_for(p.rank());
+
+  p.set_phase("search");
+  while (true) {
+    const auto assignment = driver::request_work<std::uint32_t>(
+        p, [](std::uint32_t task_id, mpisim::Decoder&) { return task_id; });
+    if (!assignment) break;
+    const std::string& frag_base =
+        opts_.fragment_bases[static_cast<std::size_t>(*assignment)];
+    const seqdb::VolumeNames names = seqdb::volume_names(frag_base, type);
+
+    // Copy stage: fragment volumes from shared storage to local scratch.
+    p.set_phase("copy");
+    for (const std::string& file : {names.index, names.sequence, names.header}) {
+      pario::timed_copy(p, shared(), file, local, file, nworkers());
+    }
+
+    // Search stage. NCBI BLAST maps the volumes into memory, so the
+    // input I/O is embedded in the search phase.
+    p.set_phase("search");
+    for (const std::string& file : {names.index, names.sequence, names.header}) {
+      (void)pario::timed_read_all(
+          p, local, file, storage().has_local_disks() ? 1 : nworkers());
+    }
+    const std::uint64_t first_seq =
+        opts_.fragment_ranges[static_cast<std::size_t>(*assignment)].first;
+    stage.add_fragment(seqdb::load_volumes(local, frag_base, type, first_seq));
+    stage.search_latest(p);
+  }
+
+  // Result submission + fetch serving, one query at a time. Sorting keeps
+  // local indices deterministic regardless of fragment arrival order.
+  p.set_phase("output");
+  stage.sort_hits();
+  for (std::uint32_t q = 0; q < queries().size(); ++q) {
+    const auto& hits = stage.hits(q);
+    mpisim::Encoder enc;
+    enc.put(static_cast<std::uint32_t>(hits.size()));
+    for (const driver::CachedHit& hit : hits) blast::encode_hsp(enc, hit.hsp);
+    p.gather(enc.bytes(), 0);
+
+    // Serve the master's per-alignment sequence-data fetches.
+    while (true) {
+      const driver::FetchRequest req = kFetchReq.recv(p, 0);
+      if (req.end_of_query()) break;
+      PIOBLAST_CHECK(req.local_index < hits.size());
+      const driver::CachedHit& hit = hits[req.local_index];
+      const seqdb::LoadedFragment& frag = stage.fragment(hit.frag_slot);
+      const auto subject = frag.sequence(hit.local_id);
+      driver::FetchResponse resp;
+      resp.defline = std::string(frag.defline(hit.local_id));
+      resp.subject_len = subject.size();
+      resp.residues.assign(subject.begin(), subject.end());
+      p.compute(p.cost().memcpy_seconds(driver::wire_size(resp)));
+      kFetchResp.send(p, 0, resp);
+    }
+  }
+}
 
 }  // namespace
 
@@ -38,246 +213,23 @@ blast::DriverResult run_mpiblast(const sim::ClusterConfig& cluster, int nprocs,
                                  pario::ClusterStorage& storage,
                                  const MpiBlastOptions& opts) {
   PIOBLAST_CHECK_MSG(nprocs >= 2, "mpiBLAST needs a master and >= 1 worker");
-  const int nworkers = nprocs - 1;
-  const int nfragments = static_cast<int>(opts.fragment_bases.size());
-  PIOBLAST_CHECK_MSG(nfragments >= 1, "no fragments to search");
+  PIOBLAST_CHECK_MSG(!opts.fragment_bases.empty(), "no fragments to search");
   PIOBLAST_CHECK(opts.fragment_ranges.size() == opts.fragment_bases.size());
 
   const blast::GlobalDbStats db_stats{opts.global_index.total_residues,
                                       opts.global_index.num_seqs};
-  const seqdb::SeqType type = opts.job.params.type;
-
-  std::atomic<std::uint64_t> candidates_merged{0};
-  std::atomic<std::uint64_t> alignments_reported{0};
-  std::atomic<std::uint64_t> output_bytes{0};
 
   // Query parsing and context construction are identical on every rank, so
   // they are prepared once and shared read-only across the rank threads
   // (host-side optimization; virtual-time charges are unchanged).
   const auto query_text_raw = storage.shared().read_all(opts.job.query_path);
-  const auto shared_queries = blast::QuerySet::build(
+  auto shared_queries = blast::QuerySet::build(
       std::string(query_text_raw.begin(), query_text_raw.end()),
       opts.job.params, db_stats);
 
-  auto rank_fn = [&](mpisim::Process& p) {
-    const int rank = p.rank();
-    pario::VirtualFS& shared = storage.shared();
-
-    // ---- init: NCBI toolkit startup + query broadcast ("other") ----------
-    p.set_phase("other");
-    p.compute(p.cost().process_init_seconds());
-
-    std::vector<std::uint8_t> query_bytes;
-    if (p.is_root()) {
-      query_bytes = pario::timed_read_all(p, shared, opts.job.query_path, 1);
-    }
-    p.bcast(query_bytes, 0);
-    const auto& queries = shared_queries->queries();
-    const auto& contexts = shared_queries->contexts();
-    const std::uint32_t nqueries = shared_queries->size();
-    const blast::ScoringMatrix& matrix = shared_queries->matrix();
-
-    if (p.is_root()) {
-      // ================= master =================
-      // Greedy fragment scheduler (paper §2.2): assign the next un-searched
-      // fragment to whichever worker asks first.
-      p.set_phase("search");
-      int next_fragment = 0;
-      int retired_workers = 0;
-      while (retired_workers < nworkers) {
-        mpisim::Message req = p.recv(mpisim::kAnySource, kTagWorkReq);
-        std::int32_t assignment = kNoMoreWork;
-        if (next_fragment < nfragments) {
-          assignment = next_fragment++;
-        } else {
-          ++retired_workers;
-        }
-        p.send_value(req.src, kTagAssign, assignment);
-      }
-
-      // Serialized result merging and output (paper Figure 2, right).
-      p.set_phase("output");
-      std::uint64_t out_offset = 0;
-      std::uint64_t merged = 0;
-      std::uint64_t reported = 0;
-      for (std::uint32_t q = 0; q < nqueries; ++q) {
-        auto gathered = p.gather({}, 0);
-        // Decode every worker's full local result list for this query.
-        struct Candidate {
-          blast::Hsp hsp;
-          int owner;
-          std::uint32_t local_index;
-        };
-        std::vector<Candidate> candidates;
-        std::uint64_t submitted_bytes = 0;
-        for (int w = 1; w < nprocs; ++w) {
-          submitted_bytes += gathered[static_cast<std::size_t>(w)].size();
-          mpisim::Decoder dec(gathered[static_cast<std::size_t>(w)]);
-          const auto count = dec.get<std::uint32_t>();
-          for (std::uint32_t i = 0; i < count; ++i) {
-            Candidate c;
-            c.hsp = blast::decode_hsp(dec);
-            c.owner = w;
-            c.local_index = i;
-            candidates.push_back(std::move(c));
-          }
-        }
-        merged += candidates.size();
-        p.compute(p.cost().merge_seconds(candidates.size(), submitted_bytes));
-        // Every submitted record is a full alignment that must be threaded
-        // through the master's NCBI result structures before screening.
-        p.compute(p.cost().hsp_result_seconds(candidates.size()));
-        std::sort(candidates.begin(), candidates.end(),
-                  [](const Candidate& a, const Candidate& b) {
-                    return blast::Hsp::better(a.hsp, b.hsp);
-                  });
-        if (candidates.size() >
-            static_cast<std::size_t>(opts.job.params.hitlist_size)) {
-          candidates.resize(static_cast<std::size_t>(opts.job.params.hitlist_size));
-        }
-        reported += candidates.size();
-
-        const bool tabular =
-            opts.job.output_format == blast::OutputFormat::kTabular;
-        std::string buffer =
-            tabular ? blast::format_tabular_query_header(
-                          queries[q], opts.job.db_title, candidates.size())
-                    : blast::format_query_header(queries[q], opts.job.db_title,
-                                                 db_stats, candidates.size());
-        p.compute(p.cost().format_seconds(buffer.size()));
-        if (candidates.empty() && !tabular) buffer += blast::format_no_hits();
-        const auto query_residues = contexts[q].residues();
-
-        // Per-alignment synchronous fetch of sequence data from the owner.
-        for (const Candidate& c : candidates) {
-          mpisim::Encoder req;
-          req.put(q).put(c.local_index);
-          p.send(c.owner, kTagFetchReq, req.bytes());
-          mpisim::Message resp = p.recv(c.owner, kTagFetchResp);
-          p.compute(p.cost().fetch_handling_seconds(1));
-          mpisim::Decoder dec(resp.payload);
-          const std::string defline = dec.get_string();
-          const auto subject_len = dec.get<std::uint64_t>();
-          const auto residues = dec.get_bytes();
-          const std::string text =
-              tabular ? blast::format_tabular_line(c.hsp, queries[q].id, defline)
-                      : blast::format_alignment(c.hsp, type, query_residues,
-                                                residues, defline, subject_len,
-                                                matrix);
-          p.compute(p.cost().format_seconds(text.size()));
-          buffer += text;
-        }
-        // Release the workers from this query's serving loop.
-        mpisim::Encoder sentinel;
-        sentinel.put(q).put(kEndOfQuery);
-        for (int w = 1; w < nprocs; ++w) p.send(w, kTagFetchReq, sentinel.bytes());
-
-        // Serial write of this query's report section.
-        pario::timed_write(p, shared, opts.job.output_path, out_offset,
-                           std::span(reinterpret_cast<const std::uint8_t*>(
-                                         buffer.data()),
-                                     buffer.size()),
-                           1);
-        out_offset += buffer.size();
-      }
-      candidates_merged.store(merged);
-      alignments_reported.store(reported);
-      output_bytes.store(out_offset);
-      p.barrier();
-      return;
-    }
-
-    // ================= worker =================
-    std::vector<seqdb::LoadedFragment> fragments;
-    std::vector<std::vector<LocalHit>> per_query(nqueries);
-    pario::VirtualFS& local = storage.local_for(rank);
-
-    p.set_phase("search");
-    while (true) {
-      p.send(0, kTagWorkReq, {});
-      const auto assignment = p.recv_value<std::int32_t>(0, kTagAssign);
-      if (assignment == kNoMoreWork) break;
-      const std::string& frag_base =
-          opts.fragment_bases[static_cast<std::size_t>(assignment)];
-      const seqdb::VolumeNames names = seqdb::volume_names(frag_base, type);
-
-      // Copy stage: fragment volumes from shared storage to local scratch.
-      p.set_phase("copy");
-      for (const std::string& file :
-           {names.index, names.sequence, names.header}) {
-        pario::timed_copy(p, shared, file, local, file, nworkers);
-      }
-
-      // Search stage. NCBI BLAST maps the volumes into memory, so the
-      // input I/O is embedded in the search phase.
-      p.set_phase("search");
-      for (const std::string& file :
-           {names.index, names.sequence, names.header}) {
-        (void)pario::timed_read_all(p, local, file,
-                                    storage.has_local_disks() ? 1 : nworkers);
-      }
-      const std::uint64_t first_seq =
-          opts.fragment_ranges[static_cast<std::size_t>(assignment)].first;
-      fragments.push_back(seqdb::load_volumes(local, frag_base, type, first_seq));
-      const seqdb::LoadedFragment& frag = fragments.back();
-      const std::size_t slot = fragments.size() - 1;
-
-      p.compute(p.cost().fragment_setup_seconds());
-      for (std::uint32_t q = 0; q < nqueries; ++q) {
-        auto result = blast::search_fragment(contexts[q], frag);
-        p.compute(p.cost().search_seconds(result.counters));
-        for (blast::Hsp& hsp : result.hsps) {
-          LocalHit hit;
-          hit.local_id = hsp.subject_global_id - frag.first_global_seq();
-          hit.frag_slot = slot;
-          hit.hsp = std::move(hsp);
-          per_query[q].push_back(std::move(hit));
-        }
-      }
-    }
-
-    // Result submission + fetch serving, one query at a time.
-    p.set_phase("output");
-    for (std::uint32_t q = 0; q < nqueries; ++q) {
-      // Keep a deterministic local order so local_index is stable.
-      std::sort(per_query[q].begin(), per_query[q].end(),
-                [](const LocalHit& a, const LocalHit& b) {
-                  return blast::Hsp::better(a.hsp, b.hsp);
-                });
-      mpisim::Encoder enc;
-      enc.put(static_cast<std::uint32_t>(per_query[q].size()));
-      for (const LocalHit& hit : per_query[q]) blast::encode_hsp(enc, hit.hsp);
-      p.gather(enc.bytes(), 0);
-
-      // Serve the master's per-alignment sequence-data fetches.
-      while (true) {
-        mpisim::Message req = p.recv(0, kTagFetchReq);
-        mpisim::Decoder dec(req.payload);
-        (void)dec.get<std::uint32_t>();  // query id (redundant; kept on wire)
-        const auto index = dec.get<std::uint32_t>();
-        if (index == kEndOfQuery) break;
-        PIOBLAST_CHECK(index < per_query[q].size());
-        const LocalHit& hit = per_query[q][index];
-        const seqdb::LoadedFragment& frag = fragments[hit.frag_slot];
-        const auto subject = frag.sequence(hit.local_id);
-        mpisim::Encoder resp;
-        resp.put_string(std::string(frag.defline(hit.local_id)));
-        resp.put<std::uint64_t>(subject.size());
-        resp.put_bytes(subject);
-        p.compute(p.cost().memcpy_seconds(resp.size()));
-        p.send(0, kTagFetchResp, resp.bytes());
-      }
-    }
-    p.barrier();
-  };
-
-  blast::DriverResult result;
-  result.report = mpisim::run(nprocs, cluster, rank_fn, opts.tracer);
-  result.phases = blast::summarize_run(result.report);
-  result.output_bytes = output_bytes.load();
-  result.candidates_merged = candidates_merged.load();
-  result.alignments_reported = alignments_reported.load();
-  return result;
+  MpiBlastApp app(cluster, nprocs, storage, opts, std::move(shared_queries),
+                  db_stats);
+  return app.run();
 }
 
 }  // namespace pioblast::mpiblast

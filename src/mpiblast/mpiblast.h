@@ -4,10 +4,11 @@
 //
 //   * the database is statically pre-partitioned into physical fragments
 //     by mpiformatdb (done before the run; see seqdb/partition.h);
-//   * a master greedily assigns un-searched fragments to workers on
-//     request; workers *copy* their fragments from shared storage to
-//     node-local disks (or, on clusters without local disks, to shared job
-//     scratch) before searching;
+//   * a master assigns un-searched fragments to workers (greedily on
+//     request by default; see MpiBlastOptions::scheduler); workers *copy*
+//     their fragments from shared storage to node-local disks (or, on
+//     clusters without local disks, to shared job scratch) before
+//     searching;
 //   * fragment I/O during the search is charged inside the search phase
 //     (NCBI BLAST inputs the database through memory-mapped files, so
 //     mpiBLAST's search time "embeds a certain amount of I/O");
@@ -17,14 +18,20 @@
 //     per-alignment fetch round trip to the owning worker for the sequence
 //     data, formats the text itself, and writes the single output file
 //     serially (paper Figure 2, right).
+//
+// Implemented on the shared driver framework (src/driver): the master's
+// assignment loop is driver::serve_work over a pluggable driver::Scheduler,
+// the per-query search loop is driver::SearchStage, and the fetch protocol
+// runs over typed driver::Channels.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "blast/driver.h"
-#include "mpisim/trace.h"
 #include "blast/job.h"
+#include "driver/scheduler.h"
+#include "mpisim/trace.h"
 #include "pario/env.h"
 #include "seqdb/partition.h"
 #include "sim/cluster.h"
@@ -40,6 +47,10 @@ struct MpiBlastOptions {
   std::vector<std::string> fragment_bases;  ///< mpiformatdb outputs, in order
   std::vector<seqdb::SeqRange> fragment_ranges;
   seqdb::DbIndex global_index;
+  /// Fragment-assignment policy. The historical default is the greedy
+  /// first-come-first-served master loop; static policies pre-plan the
+  /// same request/reply protocol deterministically.
+  driver::SchedulerKind scheduler = driver::SchedulerKind::kGreedyDynamic;
 };
 
 /// Runs mpiBLAST with `nprocs` simulated processes (1 master + workers).

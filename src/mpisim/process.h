@@ -26,6 +26,11 @@
 
 namespace pioblast::mpisim {
 
+/// Tags at or above this value are reserved for the runtime's internal
+/// collectives; driver-level tags must stay below it (the central registry
+/// in driver/tags.h static-asserts this).
+inline constexpr int kDriverTagLimit = 1 << 24;
+
 class Process {
  public:
   Process(int rank, World& world);
@@ -129,7 +134,7 @@ class Process {
   std::uint64_t messages_sent_ = 0;
 
   /// Internal tag space for collectives (drivers must use tags below this).
-  static constexpr int kInternalTagBase = 1 << 24;
+  static constexpr int kInternalTagBase = kDriverTagLimit;
   static constexpr int kTagBarrierUp = kInternalTagBase + 0;
   static constexpr int kTagBarrierDown = kInternalTagBase + 1;
   static constexpr int kTagBcast = kInternalTagBase + 2;

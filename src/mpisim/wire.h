@@ -18,6 +18,26 @@
 
 namespace pioblast::mpisim {
 
+class Encoder;
+class Decoder;
+
+/// Customization point: how a value of type T crosses the wire.
+///
+/// Specialize WireCodec<T> next to T's definition (e.g. the FragmentRange
+/// codec lives in seqdb/partition.h, the Hsp codec in blast/serialize.h) so
+/// both drivers — and the typed driver::Channel<T> layer — share one
+/// encoding. The primary template covers arithmetic and enum types only;
+/// aggregate structs must be specialized field-by-field so struct padding
+/// never leaks into (and inflates) simulated message sizes.
+template <typename T>
+struct WireCodec {
+  static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                "specialize WireCodec<T> next to T's definition (aggregates "
+                "are encoded field-by-field, never memcpy'd with padding)");
+  static void encode(Encoder& enc, const T& value);
+  static T decode(Decoder& dec);
+};
+
 /// Appends plain-old-data values, strings, and vectors to a byte buffer.
 class Encoder {
  public:
@@ -49,6 +69,13 @@ class Encoder {
     put<std::uint64_t>(v.size());
     const auto* bytes = reinterpret_cast<const std::uint8_t*>(v.data());
     buf_.insert(buf_.end(), bytes, bytes + v.size() * sizeof(T));
+    return *this;
+  }
+
+  /// Encodes `value` through its WireCodec specialization.
+  template <typename T>
+  Encoder& put_obj(const T& value) {
+    WireCodec<T>::encode(*this, value);
     return *this;
   }
 
@@ -103,6 +130,12 @@ class Decoder {
     return out;
   }
 
+  /// Decodes a value through its WireCodec specialization.
+  template <typename T>
+  T get_obj() {
+    return WireCodec<T>::decode(*this);
+  }
+
   bool exhausted() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
 
@@ -110,5 +143,17 @@ class Decoder {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
+
+// Out-of-line so the primary WireCodec template can reference the complete
+// Encoder/Decoder types.
+template <typename T>
+void WireCodec<T>::encode(Encoder& enc, const T& value) {
+  enc.put(value);
+}
+
+template <typename T>
+T WireCodec<T>::decode(Decoder& dec) {
+  return dec.get<T>();
+}
 
 }  // namespace pioblast::mpisim

@@ -1,14 +1,22 @@
 #include "pioblast/pioblast.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "blast/engine.h"
 #include "blast/format.h"
 #include "blast/query_set.h"
 #include "blast/serialize.h"
-#include "mpisim/runtime.h"
+#include "driver/channel.h"
+#include "driver/master_worker.h"
+#include "driver/messages.h"
+#include "driver/search_stage.h"
+#include "driver/tags.h"
+#include "driver/work_queue.h"
 #include "mpisim/wire.h"
 #include "pario/file.h"
 #include "seqdb/partition.h"
@@ -18,355 +26,263 @@ namespace pioblast::pio {
 
 namespace {
 
-constexpr int kTagRanges = 10;
-constexpr int kTagSelect = 11;
-constexpr int kTagWorkReq = 12;
-constexpr int kTagAssign = 13;
+constexpr driver::Channel<driver::RangeAssignment> kRanges{driver::kTagRanges};
+constexpr driver::Channel<driver::OutputSelection> kSelect{driver::kTagSelect};
 
-/// A cached candidate: the HSP, where its subject lives, and (once the
-/// output stage formats it) its output buffer.
-struct CachedHit {
-  blast::Hsp hsp;
-  std::size_t frag_slot = 0;
-  std::uint64_t local_id = 0;
-  std::string text;  ///< formatted alignment block (paper: "output buffers")
+class PioBlastApp final : public driver::MasterWorkerApp {
+ public:
+  PioBlastApp(const sim::ClusterConfig& cluster, int nprocs,
+              pario::ClusterStorage& storage, const PioBlastOptions& opts,
+              std::shared_ptr<const blast::QuerySet> queries,
+              driver::SchedulerKind kind)
+      : MasterWorkerApp(cluster, nprocs, storage, opts.job, std::move(queries),
+                        opts.tracer),
+        opts_(opts),
+        scheduler_(driver::make_scheduler(kind)),
+        dynamic_(kind == driver::SchedulerKind::kGreedyDynamic) {}
+
+ private:
+  // The protocol interleaves master and worker steps around shared
+  // collectives, so the whole thing is one body() — keeping the collective
+  // call order textually in one place.
+  void body(mpisim::Process& p) override;
+
+  void output_stage(mpisim::Process& p, driver::SearchStage& stage,
+                    const blast::GlobalDbStats& db_stats);
+
+  const PioBlastOptions& opts_;
+  std::unique_ptr<driver::Scheduler> scheduler_;
+  bool dynamic_;
 };
 
-void encode_range(mpisim::Encoder& enc, const seqdb::FragmentRange& r) {
-  enc.put(r.fragment_id)
-      .put(r.seqs.first)
-      .put(r.seqs.count)
-      .put(r.psq.offset)
-      .put(r.psq.length)
-      .put(r.phr.offset)
-      .put(r.phr.length)
-      .put(r.pin_seq_off.offset)
-      .put(r.pin_seq_off.length)
-      .put(r.pin_hdr_off.offset)
-      .put(r.pin_hdr_off.length);
-}
+void PioBlastApp::body(mpisim::Process& p) {
+  const seqdb::SeqType type = opts_.job.params.type;
+  const seqdb::VolumeNames names = seqdb::volume_names(opts_.job.db_base, type);
 
-seqdb::FragmentRange decode_range(mpisim::Decoder& dec) {
-  seqdb::FragmentRange r;
-  r.fragment_id = dec.get<int>();
-  r.seqs.first = dec.get<std::uint64_t>();
-  r.seqs.count = dec.get<std::uint64_t>();
-  r.psq.offset = dec.get<std::uint64_t>();
-  r.psq.length = dec.get<std::uint64_t>();
-  r.phr.offset = dec.get<std::uint64_t>();
-  r.phr.length = dec.get<std::uint64_t>();
-  r.pin_seq_off.offset = dec.get<std::uint64_t>();
-  r.pin_seq_off.length = dec.get<std::uint64_t>();
-  r.pin_hdr_off.offset = dec.get<std::uint64_t>();
-  r.pin_hdr_off.length = dec.get<std::uint64_t>();
-  return r;
-}
+  // ---- dynamic partitioning (still in the init "other" phase) ------------
+  blast::GlobalDbStats db_stats;
+  std::vector<seqdb::FragmentRange> my_ranges;   // static assignment
+  std::vector<seqdb::FragmentRange> all_ranges;  // master, greedy mode
+  std::uint32_t rounds = 0;  // collective-input rounds (static mode)
 
-}  // namespace
+  if (p.is_root()) {
+    // The master reads the global index and computes the per-worker file
+    // ranges ("virtual fragments") — paper §3.1.
+    const auto pin = pario::timed_read_all(p, shared(), names.index, 1);
+    const seqdb::DbIndex index = seqdb::DbIndex::deserialize(pin);
+    db_stats = {index.total_residues, index.num_seqs};
+    const int nfragments =
+        opts_.job.nfragments > 0 ? opts_.job.nfragments : nworkers();
+    auto ranges = seqdb::virtual_partition(index, nfragments);
+    const auto total = static_cast<std::uint32_t>(ranges.size());
 
-blast::DriverResult run_pioblast(const sim::ClusterConfig& cluster, int nprocs,
-                                 pario::ClusterStorage& storage,
-                                 const PioBlastOptions& opts) {
-  PIOBLAST_CHECK_MSG(nprocs >= 2, "pioBLAST needs a master and >= 1 worker");
-  const int nworkers = nprocs - 1;
-  const seqdb::SeqType type = opts.job.params.type;
-  const seqdb::VolumeNames names = seqdb::volume_names(opts.job.db_base, type);
+    if (dynamic_) {
+      // §5 extension: ranges are handed out greedily during the run.
+      all_ranges = std::move(ranges);
+    } else {
+      // Static assignment of virtual fragments to workers, planned by the
+      // configured scheduler (round-robin or speed-weighted).
+      const auto plans = scheduler_->plan(total, topology());
+      for (const auto& plan : plans)
+        rounds = std::max(rounds, static_cast<std::uint32_t>(plan.size()));
+      for (int w = 0; w < nworkers(); ++w) {
+        driver::RangeAssignment assignment;
+        assignment.total_fragments = total;
+        assignment.rounds = rounds;
+        for (const std::uint32_t t : plans[static_cast<std::size_t>(w)])
+          assignment.ranges.push_back(ranges[t]);
+        kRanges.send(p, w + 1, assignment);
+      }
+      metrics().add(driver::kMetricTasksAssigned, total);
+    }
+  } else if (!dynamic_) {
+    driver::RangeAssignment assignment = kRanges.recv(p, 0);
+    my_ranges = std::move(assignment.ranges);
+    rounds = assignment.rounds;
+  }
 
-  std::atomic<std::uint64_t> candidates_merged{0};
-  std::atomic<std::uint64_t> alignments_reported{0};
-  std::atomic<std::uint64_t> output_bytes{0};
-
-  // Shared read-only query contexts (host-side optimization; the in-run
-  // query broadcast and index reads still charge virtual time as before).
-  const auto host_index = seqdb::DbIndex::deserialize_header(
-      storage.shared().pread(names.index, 0, seqdb::DbIndex::kHeaderBytes));
-  const blast::GlobalDbStats host_stats{host_index.total_residues,
-                                        host_index.num_seqs};
-  const auto query_text_raw = storage.shared().read_all(opts.job.query_path);
-  const auto shared_queries = blast::QuerySet::build(
-      std::string(query_text_raw.begin(), query_text_raw.end()),
-      opts.job.params, host_stats);
-
-  auto rank_fn = [&](mpisim::Process& p) {
-    pario::VirtualFS& shared = storage.shared();
-
-    // ---- init + dynamic partitioning ("other") ---------------------------
-    p.set_phase("other");
-    p.compute(p.cost().process_init_seconds());
-
-    std::vector<std::uint8_t> query_bytes;
-    blast::GlobalDbStats db_stats;
-    std::vector<seqdb::FragmentRange> my_ranges;   // static assignment
-    std::vector<seqdb::FragmentRange> all_ranges;  // master, dynamic mode
-    std::uint32_t total_fragments = 0;
-
+  {
+    // Database statistics ride the broadcast channel.
+    std::vector<std::uint8_t> stats_buf;
     if (p.is_root()) {
-      // The master reads the global index and computes the per-worker file
-      // ranges ("virtual fragments") — paper §3.1.
-      const auto pin = pario::timed_read_all(p, shared, names.index, 1);
-      const seqdb::DbIndex index = seqdb::DbIndex::deserialize(pin);
-      db_stats = {index.total_residues, index.num_seqs};
-      const int nfragments =
-          opts.job.nfragments > 0 ? opts.job.nfragments : nworkers;
-      const auto ranges = seqdb::virtual_partition(index, nfragments);
-      total_fragments = static_cast<std::uint32_t>(ranges.size());
-
-      if (opts.dynamic_scheduling) {
-        // §5 extension: ranges are handed out greedily during the run.
-        all_ranges = ranges;
-      } else {
-        // Round-robin static assignment of virtual fragments to workers.
-        std::vector<mpisim::Encoder> per_worker(
-            static_cast<std::size_t>(nworkers));
-        std::vector<std::uint32_t> counts(static_cast<std::size_t>(nworkers), 0);
-        for (const auto& r : ranges)
-          ++counts[static_cast<std::size_t>(r.fragment_id % nworkers)];
-        for (int w = 0; w < nworkers; ++w) {
-          per_worker[static_cast<std::size_t>(w)]
-              .put(static_cast<std::uint32_t>(ranges.size()))
-              .put(counts[static_cast<std::size_t>(w)]);
-        }
-        for (const auto& r : ranges)
-          encode_range(
-              per_worker[static_cast<std::size_t>(r.fragment_id % nworkers)], r);
-        for (int w = 0; w < nworkers; ++w)
-          p.send(w + 1, kTagRanges,
-                 per_worker[static_cast<std::size_t>(w)].bytes());
-      }
-
-      query_bytes = pario::timed_read_all(p, shared, opts.job.query_path, 1);
-    } else if (!opts.dynamic_scheduling) {
-      mpisim::Message msg = p.recv(0, kTagRanges);
-      mpisim::Decoder dec(msg.payload);
-      total_fragments = dec.get<std::uint32_t>();
-      const auto count = dec.get<std::uint32_t>();
-      for (std::uint32_t i = 0; i < count; ++i) my_ranges.push_back(decode_range(dec));
+      mpisim::Encoder enc;
+      enc.put(db_stats.total_residues).put(db_stats.num_seqs);
+      stats_buf = enc.take();
     }
+    p.bcast(stats_buf, 0);
+    mpisim::Decoder dec(stats_buf);
+    db_stats.total_residues = dec.get<std::uint64_t>();
+    db_stats.num_seqs = dec.get<std::uint64_t>();
+  }
 
-    p.bcast(query_bytes, 0);
-    {
-      // Database statistics ride the same broadcast channel.
-      std::vector<std::uint8_t> stats_buf;
-      if (p.is_root()) {
-        mpisim::Encoder enc;
-        enc.put(db_stats.total_residues).put(db_stats.num_seqs);
-        stats_buf = enc.take();
-      }
-      p.bcast(stats_buf, 0);
-      mpisim::Decoder dec(stats_buf);
-      db_stats.total_residues = dec.get<std::uint64_t>();
-      db_stats.num_seqs = dec.get<std::uint64_t>();
-    }
-    const auto& queries = shared_queries->queries();
-    const auto& contexts = shared_queries->contexts();
-    const std::uint32_t nqueries = shared_queries->size();
-    const blast::ScoringMatrix& matrix = shared_queries->matrix();
+  // ---- parallel input stage ("input") ------------------------------------
+  p.set_phase("input");
+  driver::SearchStage stage(queries(), &metrics());
+  // A header-only index view is enough to rebuild fragments from slices.
+  seqdb::DbIndex header_view;
+  header_view.type = type;
 
-    // ---- parallel input stage ("input") ----------------------------------
-    p.set_phase("input");
-    std::vector<seqdb::LoadedFragment> fragments;
-    std::vector<std::vector<CachedHit>> per_query(nqueries);
-    // A header-only index view is enough to rebuild fragments from slices.
-    seqdb::DbIndex header_view;
-    header_view.type = type;
+  // Reads one virtual fragment's byte ranges with individual MPI-IO
+  // reads — one contiguous range from every shared database file (paper
+  // §4.1 / §5), all workers in parallel.
+  auto read_range = [&](const seqdb::FragmentRange& range) {
+    auto pin_seq =
+        pario::timed_read(p, shared(), names.index, range.pin_seq_off.offset,
+                          range.pin_seq_off.length, nworkers());
+    auto pin_hdr =
+        pario::timed_read(p, shared(), names.index, range.pin_hdr_off.offset,
+                          range.pin_hdr_off.length, nworkers());
+    auto psq = pario::timed_read(p, shared(), names.sequence, range.psq.offset,
+                                 range.psq.length, nworkers());
+    auto phr = pario::timed_read(p, shared(), names.header, range.phr.offset,
+                                 range.phr.length, nworkers());
+    return seqdb::fragment_from_slices(header_view, range, std::move(pin_seq),
+                                       std::move(pin_hdr), std::move(psq),
+                                       std::move(phr));
+  };
 
-    // Reads one virtual fragment's byte ranges with individual MPI-IO
-    // reads — one contiguous range from every shared database file (paper
-    // §4.1 / §5), all workers in parallel.
-    auto read_range = [&](const seqdb::FragmentRange& range) {
-      auto pin_seq =
-          pario::timed_read(p, shared, names.index, range.pin_seq_off.offset,
-                            range.pin_seq_off.length, nworkers);
-      auto pin_hdr =
-          pario::timed_read(p, shared, names.index, range.pin_hdr_off.offset,
-                            range.pin_hdr_off.length, nworkers);
-      auto psq = pario::timed_read(p, shared, names.sequence, range.psq.offset,
-                                   range.psq.length, nworkers);
-      auto phr = pario::timed_read(p, shared, names.header, range.phr.offset,
-                                   range.phr.length, nworkers);
-      return seqdb::fragment_from_slices(header_view, range, std::move(pin_seq),
-                                         std::move(pin_hdr), std::move(psq),
-                                         std::move(phr));
-    };
-
-    // Searches every query against the last loaded fragment, caching hits.
-    auto search_fragment_all_queries = [&]() {
-      const seqdb::LoadedFragment& frag = fragments.back();
-      const std::size_t slot = fragments.size() - 1;
-      p.compute(p.cost().fragment_setup_seconds());
-      for (std::uint32_t q = 0; q < nqueries; ++q) {
-        auto result = blast::search_fragment(contexts[q], frag);
-        p.compute(p.cost().search_seconds(result.counters));
-        for (blast::Hsp& hsp : result.hsps) {
-          // Result caching (§3.2): remember the subject's location so its
-          // sequence data never needs to be re-fetched later.
-          CachedHit hit;
-          hit.frag_slot = slot;
-          hit.local_id = hsp.subject_global_id - frag.first_global_seq();
-          hit.hsp = std::move(hsp);
-          per_query[q].push_back(std::move(hit));
-        }
-      }
-    };
-
-    if (opts.dynamic_scheduling) {
-      PIOBLAST_CHECK_MSG(!opts.collective_input,
-                         "dynamic scheduling is incompatible with collective "
-                         "input (assignment order is data-dependent)");
-      if (p.is_root()) {
-        // Greedy range scheduler: identical protocol shape to mpiBLAST's
-        // fragment scheduler, but handing out *file ranges*, not files.
+  if (dynamic_) {
+    if (p.is_root()) {
+      // Greedy range scheduler: identical protocol shape to mpiBLAST's
+      // fragment scheduler, but handing out *file ranges*, not files.
+      p.set_phase("search");
+      driver::serve_work(
+          p, *scheduler_, static_cast<std::uint32_t>(all_ranges.size()),
+          topology(),
+          [&](mpisim::Encoder& enc, std::uint32_t task) {
+            seqdb::encode_range(enc, all_ranges[task]);
+          },
+          &metrics());
+    } else {
+      while (true) {
+        p.set_phase("input");
+        const auto range = driver::request_work<seqdb::FragmentRange>(
+            p, [](std::uint32_t, mpisim::Decoder& dec) {
+              return seqdb::decode_range(dec);
+            });
+        if (!range) break;
+        stage.add_fragment(read_range(*range));
         p.set_phase("search");
-        std::size_t next = 0;
-        int retired = 0;
-        while (retired < nworkers) {
-          mpisim::Message req = p.recv(mpisim::kAnySource, kTagWorkReq);
-          mpisim::Encoder reply;
-          if (next < all_ranges.size()) {
-            reply.put<std::uint8_t>(1);
-            encode_range(reply, all_ranges[next++]);
-          } else {
-            reply.put<std::uint8_t>(0);
-            ++retired;
-          }
-          p.send(req.src, kTagAssign, reply.bytes());
-        }
-      } else {
-        while (true) {
-          p.set_phase("input");
-          p.send(0, kTagWorkReq, {});
-          mpisim::Message msg = p.recv(0, kTagAssign);
-          mpisim::Decoder dec(msg.payload);
-          if (dec.get<std::uint8_t>() == 0) break;
-          const auto range = decode_range(dec);
-          fragments.push_back(read_range(range));
-          p.set_phase("search");
-          search_fragment_all_queries();
-        }
-        p.set_phase("search");
+        stage.search_latest(p);
       }
-    } else if (opts.collective_input) {
-      // Collective-input extension: all ranks participate in the same
-      // number of collective rounds (workers with fewer fragments — and
-      // the master — join with empty views).
-      const std::uint32_t rounds =
-          (total_fragments + static_cast<std::uint32_t>(nworkers) - 1) /
-          static_cast<std::uint32_t>(nworkers);
-      for (std::uint32_t r = 0; r < rounds; ++r) {
-        const bool have = !p.is_root() && r < my_ranges.size();
-        const seqdb::FragmentRange* range = have ? &my_ranges[r] : nullptr;
-        auto read_part = [&](const std::string& file, const pario::Region& reg) {
-          return pario::collective_read(
-              p, shared, file,
-              have ? pario::FileView(std::vector<pario::Region>{reg})
-                   : pario::FileView{},
-              opts.collective);
-        };
-        const pario::Region none{};
-        auto pin_seq = read_part(names.index, have ? range->pin_seq_off : none);
-        auto pin_hdr = read_part(names.index, have ? range->pin_hdr_off : none);
-        auto psq = read_part(names.sequence, have ? range->psq : none);
-        auto phr = read_part(names.header, have ? range->phr : none);
-        if (have) {
-          fragments.push_back(seqdb::fragment_from_slices(
-              header_view, *range, std::move(pin_seq), std::move(pin_hdr),
-              std::move(psq), std::move(phr)));
-        }
-      }
-    } else if (!p.is_root()) {
-      // Static assignment: load every assigned range up front. In dynamic
-      // mode input and search interleave per assignment above instead.
-      const std::size_t nranges = my_ranges.size();
-      for (std::size_t i = 0; i < nranges; ++i)
-        fragments.push_back(read_range(my_ranges[i]));
+      p.set_phase("search");
     }
+  } else if (opts_.collective_input) {
+    // Collective-input extension: all ranks participate in the same
+    // number of collective rounds (workers with fewer fragments — and
+    // the master — join with empty views). The round count travels in the
+    // RangeAssignment: it is the maximum per-worker range count, which for
+    // uneven (e.g. speed-weighted) plans can exceed ceil(total/nworkers).
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+      const bool have = !p.is_root() && r < my_ranges.size();
+      const seqdb::FragmentRange* range = have ? &my_ranges[r] : nullptr;
+      auto read_part = [&](const std::string& file, const pario::Region& reg) {
+        return pario::collective_read(
+            p, shared(), file,
+            have ? pario::FileView(std::vector<pario::Region>{reg})
+                 : pario::FileView{},
+            opts_.collective);
+      };
+      const pario::Region none{};
+      auto pin_seq = read_part(names.index, have ? range->pin_seq_off : none);
+      auto pin_hdr = read_part(names.index, have ? range->pin_hdr_off : none);
+      auto psq = read_part(names.sequence, have ? range->psq : none);
+      auto phr = read_part(names.header, have ? range->phr : none);
+      if (have) {
+        stage.add_fragment(seqdb::fragment_from_slices(
+            header_view, *range, std::move(pin_seq), std::move(pin_hdr),
+            std::move(psq), std::move(phr)));
+      }
+    }
+  } else if (!p.is_root()) {
+    // Static assignment: load every assigned range up front. In greedy
+    // mode input and search interleave per assignment above instead.
+    for (const seqdb::FragmentRange& range : my_ranges)
+      stage.add_fragment(read_range(range));
+  }
 
-    // ---- search stage ("search"): pure in-memory compute ------------------
-    p.set_phase("search");
-    if (!p.is_root() && !opts.dynamic_scheduling) {
-      const std::size_t loaded = fragments.size();
-      // search_fragment_all_queries() works on fragments.back(); iterate in
-      // load order by rotating through the already-loaded list.
-      std::vector<seqdb::LoadedFragment> in_order;
-      in_order.swap(fragments);
-      for (auto& frag : in_order) {
-        fragments.push_back(std::move(frag));
-        search_fragment_all_queries();
-      }
-      PIOBLAST_CHECK(fragments.size() == loaded);
-    }
+  // ---- search stage ("search"): pure in-memory compute --------------------
+  p.set_phase("search");
+  if (!p.is_root() && !dynamic_) {
+    for (std::size_t slot = 0; slot < stage.fragment_count(); ++slot)
+      stage.search_slot(p, slot);
+  }
+  if (!p.is_root()) stage.sort_hits();
+
+  // All ranks (including the otherwise idle master) attribute the wait
+  // for the slowest searcher to the search phase, as the paper's
+  // instrumentation does.
+  p.barrier();
+
+  output_stage(p, stage, db_stats);
+}
+
+void PioBlastApp::output_stage(mpisim::Process& p, driver::SearchStage& stage,
+                               const blast::GlobalDbStats& db_stats) {
+  const seqdb::SeqType type = opts_.job.params.type;
+  const auto& qset = queries();
+  const auto& query_list = qset.queries();
+  const auto& contexts = qset.contexts();
+  const std::uint32_t nqueries = qset.size();
+
+  // ---- result merging + parallel output ("output") ------------------------
+  p.set_phase("output");
+  const int hitlist = opts_.job.params.hitlist_size;
+  std::uint64_t out_offset = 0;
+  std::uint64_t merged = 0;
+  std::uint64_t reported = 0;
+  // Accumulated (offset, data) regions for the next collective write.
+  std::vector<pario::Region> my_regions;
+  std::vector<std::uint8_t> my_data;
+
+  auto add_region = [&](std::uint64_t offset, std::string_view text) {
+    my_regions.push_back({offset, text.size()});
+    my_data.insert(my_data.end(), text.begin(), text.end());
+  };
+
+  // §5 extension: query batching. Queries are merged and flushed in
+  // batches of `query_batch` (0 = everything at once), bounding the
+  // cached-output memory footprint — "adaptive approaches, such as query
+  // batching ... that adjust to the amount of available memory".
+  const std::uint32_t batch =
+      opts_.query_batch > 0 ? opts_.query_batch : std::max(nqueries, 1u);
+
+  for (std::uint32_t batch_start = 0; batch_start < nqueries;
+       batch_start += batch) {
+    const std::uint32_t batch_end = std::min(nqueries, batch_start + batch);
+
+    // Workers format this batch's cached candidates into memory buffers
+    // — the "modified NCBI BLAST output routine that redirects formatted
+    // result data from file output to memory buffers" (§3.2). This is
+    // the bulk of output preparation and it runs in parallel.
     if (!p.is_root()) {
-      for (std::uint32_t q = 0; q < nqueries; ++q) {
-        std::sort(per_query[q].begin(), per_query[q].end(),
-                  [](const CachedHit& a, const CachedHit& b) {
-                    return blast::Hsp::better(a.hsp, b.hsp);
-                  });
+      const bool tabular =
+          opts_.job.output_format == blast::OutputFormat::kTabular;
+      for (std::uint32_t q = batch_start; q < batch_end; ++q) {
+        for (driver::CachedHit& hit : stage.hits(q)) {
+          const seqdb::LoadedFragment& frag = stage.fragment(hit.frag_slot);
+          hit.text =
+              tabular
+                  ? blast::format_tabular_line(hit.hsp, query_list[q].id,
+                                               frag.defline(hit.local_id))
+                  : blast::format_alignment(
+                        hit.hsp, type, contexts[q].residues(),
+                        frag.sequence(hit.local_id), frag.defline(hit.local_id),
+                        frag.sequence(hit.local_id).size(), qset.matrix());
+          p.compute(p.cost().format_seconds(hit.text.size()));
+        }
       }
     }
 
-    // All ranks (including the otherwise idle master) attribute the wait
-    // for the slowest searcher to the search phase, as the paper's
-    // instrumentation does.
-    p.barrier();
-
-    // ---- result merging + parallel output ("output") ----------------------
-    p.set_phase("output");
-    const int hitlist = opts.job.params.hitlist_size;
-    std::uint64_t out_offset = 0;
-    std::uint64_t merged = 0;
-    std::uint64_t reported = 0;
-    // Accumulated (offset, data) regions for the next collective write.
-    std::vector<pario::Region> my_regions;
-    std::vector<std::uint8_t> my_data;
-
-    auto add_region = [&](std::uint64_t offset, std::string_view text) {
-      my_regions.push_back({offset, text.size()});
-      my_data.insert(my_data.end(), text.begin(), text.end());
-    };
-
-    // §5 extension: query batching. Queries are merged and flushed in
-    // batches of `query_batch` (0 = everything at once), bounding the
-    // cached-output memory footprint — "adaptive approaches, such as query
-    // batching ... that adjust to the amount of available memory".
-    const std::uint32_t batch =
-        opts.query_batch > 0 ? opts.query_batch : std::max(nqueries, 1u);
-
-    for (std::uint32_t batch_start = 0; batch_start < nqueries;
-         batch_start += batch) {
-      const std::uint32_t batch_end = std::min(nqueries, batch_start + batch);
-
-      // Workers format this batch's cached candidates into memory buffers
-      // — the "modified NCBI BLAST output routine that redirects formatted
-      // result data from file output to memory buffers" (§3.2). This is
-      // the bulk of output preparation and it runs in parallel.
-      if (!p.is_root()) {
-        const bool tabular =
-            opts.job.output_format == blast::OutputFormat::kTabular;
-        for (std::uint32_t q = batch_start; q < batch_end; ++q) {
-          for (CachedHit& hit : per_query[q]) {
-            const seqdb::LoadedFragment& frag = fragments[hit.frag_slot];
-            hit.text =
-                tabular
-                    ? blast::format_tabular_line(hit.hsp, queries[q].id,
-                                                 frag.defline(hit.local_id))
-                    : blast::format_alignment(
-                          hit.hsp, type, contexts[q].residues(),
-                          frag.sequence(hit.local_id),
-                          frag.defline(hit.local_id),
-                          frag.sequence(hit.local_id).size(), matrix);
-            p.compute(p.cost().format_seconds(hit.text.size()));
-          }
-        }
-      }
-
-      for (std::uint32_t q = batch_start; q < batch_end; ++q) {
+    for (std::uint32_t q = batch_start; q < batch_end; ++q) {
       // §5 extension: agree on a global score threshold before submitting.
       std::int32_t threshold = std::numeric_limits<std::int32_t>::min();
-      if (opts.early_score_broadcast) {
+      if (opts_.early_score_broadcast) {
         std::int32_t local_kth = std::numeric_limits<std::int32_t>::min();
         if (!p.is_root() &&
-            per_query[q].size() >= static_cast<std::size_t>(hitlist)) {
-          local_kth = per_query[q][static_cast<std::size_t>(hitlist) - 1].hsp.score;
+            stage.hits(q).size() >= static_cast<std::size_t>(hitlist)) {
+          local_kth =
+              stage.hits(q)[static_cast<std::size_t>(hitlist) - 1].hsp.score;
         }
         mpisim::Encoder enc;
         enc.put(local_kth);
@@ -374,7 +290,7 @@ blast::DriverResult run_pioblast(const sim::ClusterConfig& cluster, int nprocs,
         std::vector<std::uint8_t> tbuf;
         if (p.is_root()) {
           std::int32_t best = std::numeric_limits<std::int32_t>::min();
-          for (int w = 1; w < nprocs; ++w) {
+          for (int w = 1; w < nprocs(); ++w) {
             mpisim::Decoder dec(gathered[static_cast<std::size_t>(w)]);
             best = std::max(best, dec.get<std::int32_t>());
           }
@@ -392,9 +308,11 @@ blast::DriverResult run_pioblast(const sim::ClusterConfig& cluster, int nprocs,
       std::uint32_t submitted = 0;
       mpisim::Encoder body;
       if (!p.is_root()) {
-        for (std::uint32_t i = 0; i < per_query[q].size(); ++i) {
-          const CachedHit& hit = per_query[q][i];
-          if (opts.early_score_broadcast && hit.hsp.score < threshold) continue;
+        const auto& hits = stage.hits(q);
+        for (std::uint32_t i = 0; i < hits.size(); ++i) {
+          const driver::CachedHit& hit = hits[i];
+          if (opts_.early_score_broadcast && hit.hsp.score < threshold)
+            continue;
           blast::CandidateMeta meta;
           meta.query_id = q;
           meta.local_index = i;
@@ -417,7 +335,7 @@ blast::DriverResult run_pioblast(const sim::ClusterConfig& cluster, int nprocs,
       if (p.is_root()) {
         std::vector<blast::CandidateMeta> candidates;
         std::uint64_t submitted_bytes = 0;
-        for (int w = 1; w < nprocs; ++w) {
+        for (int w = 1; w < nprocs(); ++w) {
           submitted_bytes += gathered[static_cast<std::size_t>(w)].size();
           mpisim::Decoder dec(gathered[static_cast<std::size_t>(w)]);
           const auto count = dec.get<std::uint32_t>();
@@ -436,12 +354,13 @@ blast::DriverResult run_pioblast(const sim::ClusterConfig& cluster, int nprocs,
 
         // Header + offsets: the master knows every output size up front.
         const bool tabular =
-            opts.job.output_format == blast::OutputFormat::kTabular;
+            opts_.job.output_format == blast::OutputFormat::kTabular;
         std::string header =
             tabular ? blast::format_tabular_query_header(
-                          queries[q], opts.job.db_title, candidates.size())
-                    : blast::format_query_header(queries[q], opts.job.db_title,
-                                                 db_stats, candidates.size());
+                          query_list[q], opts_.job.db_title, candidates.size())
+                    : blast::format_query_header(query_list[q],
+                                                 opts_.job.db_title, db_stats,
+                                                 candidates.size());
         p.compute(p.cost().format_seconds(header.size()));
         if (candidates.empty() && !tabular) header += blast::format_no_hits();
         const std::uint64_t header_offset = out_offset;
@@ -449,72 +368,85 @@ blast::DriverResult run_pioblast(const sim::ClusterConfig& cluster, int nprocs,
         add_region(header_offset, header);
 
         // Tell each owner which cached buffers to write and where.
-        std::vector<mpisim::Encoder> selections(static_cast<std::size_t>(nprocs));
-        std::vector<std::uint32_t> counts(static_cast<std::size_t>(nprocs), 0);
-        for (const auto& c : candidates)
-          ++counts[static_cast<std::size_t>(c.owner)];
-        for (int w = 1; w < nprocs; ++w)
-          selections[static_cast<std::size_t>(w)].put(
-              counts[static_cast<std::size_t>(w)]);
+        std::vector<driver::OutputSelection> selections(
+            static_cast<std::size_t>(nprocs()));
         for (const auto& c : candidates) {
-          selections[static_cast<std::size_t>(c.owner)].put(c.local_index)
-              .put(cursor);
+          selections[static_cast<std::size_t>(c.owner)].slots.push_back(
+              {c.local_index, cursor});
           cursor += c.output_size;
         }
-        for (int w = 1; w < nprocs; ++w)
-          p.send(w, kTagSelect, selections[static_cast<std::size_t>(w)].bytes());
+        for (int w = 1; w < nprocs(); ++w)
+          kSelect.send(p, w, selections[static_cast<std::size_t>(w)]);
         out_offset = cursor;
       } else {
-        mpisim::Message sel = p.recv(0, kTagSelect);
-        mpisim::Decoder dec(sel.payload);
-        const auto count = dec.get<std::uint32_t>();
-        for (std::uint32_t i = 0; i < count; ++i) {
-          const auto local_index = dec.get<std::uint32_t>();
-          const auto offset = dec.get<std::uint64_t>();
-          PIOBLAST_CHECK(local_index < per_query[q].size());
-          add_region(offset, per_query[q][local_index].text);
-          p.compute(p.cost().memcpy_seconds(
-              per_query[q][local_index].text.size()));
+        const driver::OutputSelection selection = kSelect.recv(p, 0);
+        for (const auto& slot : selection.slots) {
+          PIOBLAST_CHECK(slot.local_index < stage.hits(q).size());
+          const driver::CachedHit& hit = stage.hits(q)[slot.local_index];
+          add_region(slot.offset, hit.text);
+          p.compute(p.cost().memcpy_seconds(hit.text.size()));
         }
       }
-      }  // queries in batch
+    }  // queries in batch
 
-      // One collective write flushes this batch's cached buffers into the
-      // shared output file (paper Figure 2, left). Regions were
-      // accumulated in offset order (offsets grow monotonically through
-      // the merge loop); the FileView constructor asserts that invariant.
-      pario::FileView view(my_regions);
-      pario::collective_write(p, shared, opts.job.output_path, view, my_data,
-                              opts.collective);
-      my_regions.clear();
-      my_data.clear();
-      // Release this batch's cached output buffers (the memory-bounding
-      // point of batching).
-      if (!p.is_root()) {
-        for (std::uint32_t q = batch_start; q < batch_end; ++q) {
-          for (CachedHit& hit : per_query[q]) {
-            hit.text.clear();
-            hit.text.shrink_to_fit();
-          }
+    // One collective write flushes this batch's cached buffers into the
+    // shared output file (paper Figure 2, left). Regions were
+    // accumulated in offset order (offsets grow monotonically through
+    // the merge loop); the FileView constructor asserts that invariant.
+    pario::FileView view(my_regions);
+    pario::collective_write(p, shared(), opts_.job.output_path, view, my_data,
+                            opts_.collective);
+    my_regions.clear();
+    my_data.clear();
+    // Release this batch's cached output buffers (the memory-bounding
+    // point of batching).
+    if (!p.is_root()) {
+      for (std::uint32_t q = batch_start; q < batch_end; ++q) {
+        for (driver::CachedHit& hit : stage.hits(q)) {
+          hit.text.clear();
+          hit.text.shrink_to_fit();
         }
       }
-    }  // batches
-
-    if (p.is_root()) {
-      candidates_merged.store(merged);
-      alignments_reported.store(reported);
-      output_bytes.store(out_offset);
     }
-    p.barrier();
-  };
+  }  // batches
 
-  blast::DriverResult result;
-  result.report = mpisim::run(nprocs, cluster, rank_fn, opts.tracer);
-  result.phases = blast::summarize_run(result.report);
-  result.output_bytes = output_bytes.load();
-  result.candidates_merged = candidates_merged.load();
-  result.alignments_reported = alignments_reported.load();
-  return result;
+  if (p.is_root()) {
+    metrics().set(driver::kMetricCandidatesMerged, merged);
+    metrics().set(driver::kMetricAlignmentsReported, reported);
+    metrics().set(driver::kMetricOutputBytes, out_offset);
+  }
+}
+
+}  // namespace
+
+blast::DriverResult run_pioblast(const sim::ClusterConfig& cluster, int nprocs,
+                                 pario::ClusterStorage& storage,
+                                 const PioBlastOptions& opts) {
+  PIOBLAST_CHECK_MSG(nprocs >= 2, "pioBLAST needs a master and >= 1 worker");
+  const seqdb::SeqType type = opts.job.params.type;
+  const seqdb::VolumeNames names = seqdb::volume_names(opts.job.db_base, type);
+
+  driver::SchedulerKind kind = opts.scheduler;
+  if (opts.dynamic_scheduling) kind = driver::SchedulerKind::kGreedyDynamic;
+  PIOBLAST_CHECK_MSG(
+      !(kind == driver::SchedulerKind::kGreedyDynamic && opts.collective_input),
+      "dynamic scheduling is incompatible with collective input (assignment "
+      "order is data-dependent)");
+
+  // Shared read-only query contexts (host-side optimization; the in-run
+  // query broadcast and index reads still charge virtual time as before).
+  const auto host_index = seqdb::DbIndex::deserialize_header(
+      storage.shared().pread(names.index, 0, seqdb::DbIndex::kHeaderBytes));
+  const blast::GlobalDbStats host_stats{host_index.total_residues,
+                                        host_index.num_seqs};
+  const auto query_text_raw = storage.shared().read_all(opts.job.query_path);
+  auto shared_queries = blast::QuerySet::build(
+      std::string(query_text_raw.begin(), query_text_raw.end()),
+      opts.job.params, host_stats);
+
+  PioBlastApp app(cluster, nprocs, storage, opts, std::move(shared_queries),
+                  kind);
+  return app.run();
 }
 
 }  // namespace pioblast::pio

@@ -26,12 +26,20 @@
 //   * collective input — read the database ranges with collective reads
 //     instead of individual ones;
 //   * fragment refinement — more virtual fragments than workers, assigned
-//     round-robin (finer granularity for load balancing studies).
+//     by a pluggable static scheduler (finer granularity for load
+//     balancing studies).
+//
+// Implemented on the shared driver framework (src/driver): range
+// assignment goes through a pluggable driver::Scheduler (static policies
+// pre-plan and pre-send; the greedy policy serves ranges at run time over
+// driver::serve_work), the per-query search loop is driver::SearchStage,
+// and structured messages run over typed driver::Channels.
 #pragma once
 
 #include "blast/driver.h"
-#include "mpisim/trace.h"
 #include "blast/job.h"
+#include "driver/scheduler.h"
+#include "mpisim/trace.h"
 #include "pario/collective.h"
 #include "pario/env.h"
 #include "sim/cluster.h"
@@ -44,12 +52,18 @@ struct PioBlastOptions {
   mpisim::Tracer* tracer = nullptr;
   bool early_score_broadcast = false;  ///< §5 local-pruning extension
   bool collective_input = false;       ///< read input ranges collectively
-  /// §5 dynamic load balancing: instead of statically assigning virtual
-  /// fragments round-robin, the master hands out file ranges greedily as
-  /// workers finish — "the file ranges can be decided at run time and
-  /// differentiated between different workers". Use with job.nfragments >
-  /// nworkers for finer task granularity. Incompatible with
-  /// collective_input (assignment order is data-dependent).
+  /// Range-assignment policy. Static policies (round-robin, the
+  /// heterogeneity-aware speed-weighted apportionment) are planned and
+  /// distributed up front — the only mode compatible with collective
+  /// input, whose round structure must be known before the run. The
+  /// greedy policy hands out file ranges at run time as workers finish —
+  /// "the file ranges can be decided at run time and differentiated
+  /// between different workers" (§5).
+  driver::SchedulerKind scheduler = driver::SchedulerKind::kStaticRoundRobin;
+  /// Legacy alias for `scheduler = kGreedyDynamic` (§5 dynamic load
+  /// balancing). Use with job.nfragments > nworkers for finer task
+  /// granularity. Incompatible with collective_input (assignment order is
+  /// data-dependent).
   bool dynamic_scheduling = false;
   /// §5 memory adaptivity: merge and flush queries in batches of this size
   /// (one collective write per batch), bounding the cached-output memory.

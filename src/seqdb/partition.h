@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "mpisim/wire.h"
 #include "pario/collective.h"
 #include "pario/vfs.h"
 #include "seqdb/formatdb.h"
@@ -40,6 +41,13 @@ struct FragmentRange {
   pario::Region pin_seq_off;   ///< the fragment's slice of seq_offsets in .pin
   pario::Region pin_hdr_off;   ///< the fragment's slice of hdr_offsets in .pin
 };
+
+/// Shared wire serialization of a FragmentRange — the one encoding both
+/// drivers (and any future scheduler or fault-injection plugin) use when a
+/// range crosses a simulated message boundary. Field-by-field so the wire
+/// size is exact (no struct padding).
+void encode_range(mpisim::Encoder& enc, const FragmentRange& r);
+FragmentRange decode_range(mpisim::Decoder& dec);
 
 /// Computes the virtual fragment ranges for a formatted database. The
 /// index slices cover count+1 offsets so workers can rebase locally.
@@ -68,3 +76,19 @@ StaticPartitionResult mpiformatdb(pario::VirtualFS& fs,
                                   const std::string& title, int nfragments);
 
 }  // namespace pioblast::seqdb
+
+namespace pioblast::mpisim {
+
+/// Typed-channel binding for FragmentRange (delegates to the shared
+/// seqdb::encode_range/decode_range serializers above).
+template <>
+struct WireCodec<seqdb::FragmentRange> {
+  static void encode(Encoder& enc, const seqdb::FragmentRange& r) {
+    seqdb::encode_range(enc, r);
+  }
+  static seqdb::FragmentRange decode(Decoder& dec) {
+    return seqdb::decode_range(dec);
+  }
+};
+
+}  // namespace pioblast::mpisim

@@ -1,0 +1,337 @@
+// Unit tests of the shared driver framework (src/driver): scheduler
+// policies, the RunMetrics registry, summarize_run invariants, and the
+// WireCodec round trips behind the typed channels.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "blast/driver.h"
+#include "blast/serialize.h"
+#include "driver/channel.h"
+#include "driver/messages.h"
+#include "driver/metrics.h"
+#include "driver/scheduler.h"
+#include "driver/tags.h"
+#include "mpisim/wire.h"
+#include "seqdb/partition.h"
+#include "util/error.h"
+
+namespace pioblast {
+namespace {
+
+driver::WorkerTopology topo_with_speeds(std::vector<double> speeds) {
+  driver::WorkerTopology topo;
+  topo.nworkers = static_cast<int>(speeds.size());
+  topo.speed = std::move(speeds);
+  return topo;
+}
+
+/// Every task in [0, ntasks) appears exactly once across the plan.
+void expect_covers_all(const std::vector<std::vector<std::uint32_t>>& plan,
+                       std::uint32_t ntasks) {
+  std::set<std::uint32_t> seen;
+  for (const auto& q : plan)
+    for (std::uint32_t t : q) EXPECT_TRUE(seen.insert(t).second) << t;
+  EXPECT_EQ(seen.size(), ntasks);
+}
+
+TEST(SchedulerKind, NameRoundTrip) {
+  for (auto kind : {driver::SchedulerKind::kGreedyDynamic,
+                    driver::SchedulerKind::kStaticRoundRobin,
+                    driver::SchedulerKind::kSpeedWeighted}) {
+    EXPECT_EQ(driver::parse_scheduler(driver::to_string(kind)), kind);
+  }
+  EXPECT_THROW(driver::parse_scheduler("fifo"), util::RuntimeError);
+}
+
+TEST(Scheduler, GreedyHandsOutTasksInOrderToAnyWorker) {
+  auto sched = driver::make_scheduler(driver::SchedulerKind::kGreedyDynamic);
+  EXPECT_FALSE(sched->is_static());
+  sched->reset(3, topo_with_speeds({1.0, 1.0}));
+  EXPECT_EQ(sched->next(1), 0);
+  EXPECT_EQ(sched->next(0), 1);
+  EXPECT_EQ(sched->next(1), 2);
+  EXPECT_EQ(sched->next(0), driver::Scheduler::kNoTask);
+  EXPECT_EQ(sched->next(1), driver::Scheduler::kNoTask);
+}
+
+TEST(Scheduler, GreedyRefusesToPlan) {
+  auto sched = driver::make_scheduler(driver::SchedulerKind::kGreedyDynamic);
+  EXPECT_THROW(sched->plan(4, topo_with_speeds({1.0, 1.0})),
+               util::ContractViolation);
+}
+
+TEST(Scheduler, RoundRobinPlanIsModular) {
+  auto sched = driver::make_scheduler(driver::SchedulerKind::kStaticRoundRobin);
+  EXPECT_TRUE(sched->is_static());
+  const auto plan = sched->plan(7, topo_with_speeds({1.0, 1.0, 1.0}));
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0], (std::vector<std::uint32_t>{0, 3, 6}));
+  EXPECT_EQ(plan[1], (std::vector<std::uint32_t>{1, 4}));
+  EXPECT_EQ(plan[2], (std::vector<std::uint32_t>{2, 5}));
+  expect_covers_all(plan, 7);
+}
+
+TEST(Scheduler, SpeedWeightedDegeneratesToRoundRobinWhenHomogeneous) {
+  auto rr = driver::make_scheduler(driver::SchedulerKind::kStaticRoundRobin);
+  auto sw = driver::make_scheduler(driver::SchedulerKind::kSpeedWeighted);
+  const auto topo = topo_with_speeds({1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(sw->plan(10, topo), rr->plan(10, topo));
+}
+
+TEST(Scheduler, SpeedWeightedApportionsProportionally) {
+  auto sched = driver::make_scheduler(driver::SchedulerKind::kSpeedWeighted);
+  // D'Hondt over speeds 2:1 must split 9 tasks 6:3.
+  const auto plan = sched->plan(9, topo_with_speeds({2.0, 1.0}));
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].size(), 6u);
+  EXPECT_EQ(plan[1].size(), 3u);
+  expect_covers_all(plan, 9);
+}
+
+TEST(Scheduler, SpeedWeightedIsDeterministicAndComplete) {
+  const auto topo = topo_with_speeds({1.3, 0.4, 2.2, 1.0, 0.9});
+  auto a = driver::make_scheduler(driver::SchedulerKind::kSpeedWeighted);
+  auto b = driver::make_scheduler(driver::SchedulerKind::kSpeedWeighted);
+  const auto plan_a = a->plan(23, topo);
+  const auto plan_b = b->plan(23, topo);
+  EXPECT_EQ(plan_a, plan_b);
+  expect_covers_all(plan_a, 23);
+  // The fastest worker holds the most tasks.
+  std::size_t max_tasks = 0;
+  for (const auto& q : plan_a) max_tasks = std::max(max_tasks, q.size());
+  EXPECT_EQ(plan_a[2].size(), max_tasks);
+}
+
+TEST(Scheduler, SpeedWeightedBreaksTiesTowardLowestWorker) {
+  auto sched = driver::make_scheduler(driver::SchedulerKind::kSpeedWeighted);
+  const auto plan = sched->plan(2, topo_with_speeds({1.0, 1.0, 1.0}));
+  EXPECT_EQ(plan[0], (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(plan[1], (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(plan[2].empty());
+}
+
+TEST(RunMetrics, AddAccumulatesAndSetOverwrites) {
+  driver::RunMetrics m;
+  EXPECT_EQ(m.get("x"), 0u);
+  m.add("x", 2);
+  m.add("x", 3);
+  EXPECT_EQ(m.get("x"), 5u);
+  m.set("x", 7);
+  EXPECT_EQ(m.get("x"), 7u);
+}
+
+TEST(RunMetrics, SnapshotAndJsonAreNameOrdered) {
+  driver::RunMetrics m;
+  m.set("zeta", 1);
+  m.set("alpha", 2);
+  m.add(driver::kMetricHspsCached, 9);
+  const auto snap = m.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.begin()->first, "alpha");
+  EXPECT_EQ(m.to_json(), "{\"alpha\":2,\"hsps_cached\":9,\"zeta\":1}");
+}
+
+mpisim::RankReport make_rank(int rank, sim::Time clock,
+                             std::vector<std::pair<std::string, sim::Time>>
+                                 buckets) {
+  mpisim::RankReport r;
+  r.rank = rank;
+  r.final_clock = clock;
+  for (const auto& [name, secs] : buckets) r.phases.add(name, secs);
+  return r;
+}
+
+void expect_breakdown_invariants(const blast::PhaseBreakdown& b) {
+  EXPECT_GE(b.copy_input, 0.0);
+  EXPECT_GE(b.search, 0.0);
+  EXPECT_GE(b.output, 0.0);
+  EXPECT_GE(b.other, 0.0);
+  EXPECT_LE(b.copy_input + b.search + b.output + b.other, b.total + 1e-9);
+  EXPECT_GE(b.search_fraction(), 0.0);
+  EXPECT_LE(b.search_fraction(), 1.0);
+}
+
+TEST(SummarizeRun, NormalReportSplitsPhases) {
+  mpisim::RunReport report;
+  report.ranks.push_back(make_rank(0, 10.0, {{"output", 3.0}}));
+  report.ranks.push_back(
+      make_rank(1, 10.0, {{"copy", 2.0}, {"search", 4.0}}));
+  report.ranks.push_back(
+      make_rank(2, 9.0, {{"input", 1.0}, {"search", 5.0}}));
+  const auto b = blast::summarize_run(report);
+  EXPECT_DOUBLE_EQ(b.total, 10.0);
+  EXPECT_DOUBLE_EQ(b.copy_input, 2.0);  // max over workers
+  EXPECT_DOUBLE_EQ(b.search, 5.0);
+  EXPECT_DOUBLE_EQ(b.output, 3.0);
+  expect_breakdown_invariants(b);
+}
+
+TEST(SummarizeRun, ClampsWhenRankBucketsExceedMakespan) {
+  // copy/search come from the slowest worker, output from the master:
+  // different ranks, so the raw sum can beat the makespan under extreme
+  // imbalance. The summary must clamp rather than report an over-full
+  // breakdown.
+  mpisim::RunReport report;
+  report.ranks.push_back(make_rank(0, 5.0, {{"output", 4.0}}));
+  report.ranks.push_back(
+      make_rank(1, 5.0, {{"copy", 3.0}, {"search", 4.0}}));
+  const auto b = blast::summarize_run(report);
+  EXPECT_DOUBLE_EQ(b.total, 5.0);
+  EXPECT_DOUBLE_EQ(b.copy_input, 3.0);
+  EXPECT_DOUBLE_EQ(b.search, 2.0);   // clamped to total - copy
+  EXPECT_DOUBLE_EQ(b.output, 0.0);   // nothing left
+  expect_breakdown_invariants(b);
+}
+
+TEST(SummarizeRun, EmptyReportIsAllZero) {
+  const auto b = blast::summarize_run(mpisim::RunReport{});
+  EXPECT_DOUBLE_EQ(b.total, 0.0);
+  EXPECT_DOUBLE_EQ(b.search_fraction(), 0.0);
+  expect_breakdown_invariants(b);
+}
+
+seqdb::FragmentRange sample_range() {
+  seqdb::FragmentRange r;
+  r.fragment_id = 7;
+  r.seqs = {11, 22};
+  r.psq = {100, 200};
+  r.phr = {300, 400};
+  r.pin_seq_off = {500, 184};
+  r.pin_hdr_off = {700, 184};
+  return r;
+}
+
+TEST(WireCodecs, FragmentRangeRoundTripsWithoutPadding) {
+  mpisim::Encoder enc;
+  enc.put_obj(sample_range());
+  // 1 int + 10 u64 fields, no struct padding on the wire.
+  EXPECT_EQ(enc.size(), 4u + 10u * 8u);
+  mpisim::Decoder dec(enc.bytes());
+  const auto r = dec.get_obj<seqdb::FragmentRange>();
+  EXPECT_TRUE(dec.exhausted());
+  EXPECT_EQ(r.fragment_id, 7);
+  EXPECT_EQ(r.seqs.first, 11u);
+  EXPECT_EQ(r.seqs.count, 22u);
+  EXPECT_EQ(r.psq.offset, 100u);
+  EXPECT_EQ(r.phr.length, 400u);
+  EXPECT_EQ(r.pin_seq_off.offset, 500u);
+  EXPECT_EQ(r.pin_hdr_off.length, 184u);
+}
+
+TEST(WireCodecs, HspRoundTripsThroughCodec) {
+  blast::Hsp h;
+  h.query_id = 3;
+  h.subject_global_id = 99;
+  h.qstart = 5;
+  h.qend = 25;
+  h.sstart = 7;
+  h.send = 27;
+  h.score = 61;
+  h.bits = 28.1;
+  h.evalue = 1e-5;
+  h.identities = 18;
+  h.positives = 19;
+  h.gaps = 1;
+  h.align_len = 21;
+  h.ops = {blast::AlignOp::kMatch, blast::AlignOp::kInsert,
+           blast::AlignOp::kMatch};
+  mpisim::Encoder enc;
+  enc.put_obj(h);
+  mpisim::Decoder dec(enc.bytes());
+  const auto back = dec.get_obj<blast::Hsp>();
+  EXPECT_TRUE(dec.exhausted());
+  EXPECT_EQ(back.subject_global_id, 99u);
+  EXPECT_EQ(back.score, 61);
+  EXPECT_DOUBLE_EQ(back.evalue, 1e-5);
+  EXPECT_EQ(back.ops, h.ops);
+}
+
+TEST(WireCodecs, CandidateMetaIsFixedSizeOnTheWire) {
+  blast::CandidateMeta c;
+  c.query_id = 1;
+  c.local_index = 2;
+  c.subject_global_id = 3;
+  c.score = 44;
+  c.owner = 5;
+  c.evalue = 0.25;
+  c.output_size = 1234;
+  c.qstart = 6;
+  c.sstart32 = 7;
+  mpisim::Encoder enc;
+  enc.put_obj(c);
+  EXPECT_EQ(enc.size(), 48u);  // the §3.2 lean record, padding-free
+  mpisim::Decoder dec(enc.bytes());
+  const auto back = dec.get_obj<blast::CandidateMeta>();
+  EXPECT_TRUE(dec.exhausted());
+  EXPECT_EQ(back.owner, 5);
+  EXPECT_EQ(back.output_size, 1234u);
+  EXPECT_DOUBLE_EQ(back.evalue, 0.25);
+}
+
+TEST(WireCodecs, RangeAssignmentCarriesRoundsAndRanges) {
+  driver::RangeAssignment a;
+  a.total_fragments = 9;
+  a.rounds = 4;
+  a.ranges = {sample_range(), sample_range()};
+  a.ranges[1].fragment_id = 8;
+  mpisim::Encoder enc;
+  enc.put_obj(a);
+  mpisim::Decoder dec(enc.bytes());
+  const auto back = dec.get_obj<driver::RangeAssignment>();
+  EXPECT_TRUE(dec.exhausted());
+  EXPECT_EQ(back.total_fragments, 9u);
+  EXPECT_EQ(back.rounds, 4u);
+  ASSERT_EQ(back.ranges.size(), 2u);
+  EXPECT_EQ(back.ranges[0].fragment_id, 7);
+  EXPECT_EQ(back.ranges[1].fragment_id, 8);
+}
+
+TEST(WireCodecs, FetchMessagesAndSelectionRoundTrip) {
+  driver::FetchRequest req{17};
+  EXPECT_FALSE(req.end_of_query());
+  EXPECT_TRUE(driver::FetchRequest{driver::kEndOfQuery}.end_of_query());
+  // The lean request is a single u32 — the redundant query id of the
+  // historical wire format is gone.
+  EXPECT_EQ(driver::wire_size(req), 4u);
+
+  driver::FetchResponse resp;
+  resp.defline = "sp|TEST|demo";
+  resp.subject_len = 321;
+  resp.residues = {1, 2, 3, 4};
+  mpisim::Encoder enc;
+  enc.put_obj(resp);
+  mpisim::Decoder dec(enc.bytes());
+  const auto back = dec.get_obj<driver::FetchResponse>();
+  EXPECT_TRUE(dec.exhausted());
+  EXPECT_EQ(back.defline, resp.defline);
+  EXPECT_EQ(back.subject_len, 321u);
+  EXPECT_EQ(back.residues, resp.residues);
+
+  driver::OutputSelection sel;
+  sel.slots.push_back({2, 1000});
+  sel.slots.push_back({0, 2048});
+  mpisim::Encoder senc;
+  senc.put_obj(sel);
+  // u32 count + per slot u32 index + u64 offset (the historical layout).
+  EXPECT_EQ(senc.size(), 4u + 2u * 12u);
+  mpisim::Decoder sdec(senc.bytes());
+  const auto sback = sdec.get_obj<driver::OutputSelection>();
+  EXPECT_TRUE(sdec.exhausted());
+  ASSERT_EQ(sback.slots.size(), 2u);
+  EXPECT_EQ(sback.slots[0].local_index, 2u);
+  EXPECT_EQ(sback.slots[1].offset, 2048u);
+}
+
+TEST(Tags, RegistryStaysBelowInternalBand) {
+  EXPECT_LT(driver::kTagFetchResp, mpisim::kDriverTagLimit);
+  EXPECT_LT(driver::kTagSelect, mpisim::kDriverTagLimit);
+  // Numeric stability matters: trace files grep for tag=3 fetch traffic.
+  EXPECT_EQ(static_cast<int>(driver::kTagFetchReq), 3);
+  EXPECT_EQ(static_cast<int>(driver::kTagWorkReq), 1);
+}
+
+}  // namespace
+}  // namespace pioblast

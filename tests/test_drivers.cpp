@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <tuple>
 
 #include "blast/job.h"
+#include "driver/scheduler.h"
 #include "mpiblast/mpiblast.h"
 #include "pioblast/pioblast.h"
 #include "seqdb/generator.h"
@@ -54,9 +57,10 @@ void stage_queries(pario::ClusterStorage& storage, const Workload& w) {
                 w.query_fasta.size()));
 }
 
-blast::DriverResult run_mpi(const sim::ClusterConfig& cluster, int nprocs,
-                            pario::ClusterStorage& storage, const Workload& w,
-                            int nfragments) {
+blast::DriverResult run_mpi(
+    const sim::ClusterConfig& cluster, int nprocs,
+    pario::ClusterStorage& storage, const Workload& w, int nfragments,
+    driver::SchedulerKind sched = driver::SchedulerKind::kGreedyDynamic) {
   const auto parts =
       seqdb::mpiformatdb(storage.shared(), w.db, w.job.db_base,
                          w.job.params.type, w.job.db_title, nfragments);
@@ -66,6 +70,7 @@ blast::DriverResult run_mpi(const sim::ClusterConfig& cluster, int nprocs,
   opts.fragment_bases = parts.fragment_bases;
   opts.fragment_ranges = parts.ranges;
   opts.global_index = parts.global_index;
+  opts.scheduler = sched;
   return mpiblast::run_mpiblast(cluster, nprocs, storage, opts);
 }
 
@@ -80,17 +85,26 @@ blast::DriverResult run_pio(const sim::ClusterConfig& cluster, int nprocs,
   return pio::run_pioblast(cluster, nprocs, storage, opts);
 }
 
-class DriverEquivalence : public ::testing::TestWithParam<int> {};
+// The byte-identity matrix: every (process count, scheduler policy) pair
+// must produce the same report from both drivers. Output is partition- and
+// schedule-invariant because the merge orders (Hsp::better,
+// CandidateMeta::better) are total.
+class DriverEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, driver::SchedulerKind>> {
+};
 
 TEST_P(DriverEquivalence, IdenticalOutputAcrossProcessCounts) {
-  const int nprocs = GetParam();
+  const int nprocs = std::get<0>(GetParam());
+  const driver::SchedulerKind sched = std::get<1>(GetParam());
   const auto& w = protein_workload();
   const auto cluster = sim::ClusterConfig::ornl_altix();
   pario::ClusterStorage storage(cluster, nprocs);
   stage_queries(storage, w);
 
-  const auto mpi = run_mpi(cluster, nprocs, storage, w, nprocs - 1);
-  const auto pio = run_pio(cluster, nprocs, storage, w);
+  const auto mpi = run_mpi(cluster, nprocs, storage, w, nprocs - 1, sched);
+  pio::PioBlastOptions popts;
+  popts.scheduler = sched;
+  const auto pio = run_pio(cluster, nprocs, storage, w, popts);
 
   const auto a = storage.shared().read_all("out.mpi.txt");
   const auto b = storage.shared().read_all("out.pio.txt");
@@ -100,8 +114,20 @@ TEST_P(DriverEquivalence, IdenticalOutputAcrossProcessCounts) {
   EXPECT_EQ(mpi.alignments_reported, pio.alignments_reported);
 }
 
-INSTANTIATE_TEST_SUITE_P(ProcCounts, DriverEquivalence,
-                         ::testing::Values(2, 3, 5, 9));
+INSTANTIATE_TEST_SUITE_P(
+    ProcCounts, DriverEquivalence,
+    ::testing::Combine(::testing::Values(2, 3, 5, 9),
+                       ::testing::Values(driver::SchedulerKind::kGreedyDynamic,
+                                         driver::SchedulerKind::kStaticRoundRobin,
+                                         driver::SchedulerKind::kSpeedWeighted)),
+    [](const ::testing::TestParamInfo<std::tuple<int, driver::SchedulerKind>>&
+           info) {
+      std::string name = "np" + std::to_string(std::get<0>(info.param)) + "_" +
+                         std::string(driver::to_string(std::get<1>(info.param)));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
 
 TEST(Drivers, OutputInvariantToFragmentCount) {
   const auto& w = protein_workload();
@@ -363,6 +389,62 @@ TEST(Drivers, DynamicSchedulingHelpsOnHeterogeneousNodes) {
   EXPECT_EQ(s1.shared().read_all("out.pio.txt"),
             s2.shared().read_all("out.pio.txt"));
   EXPECT_LT(dynamic_run.phases.total, static_run.phases.total);
+}
+
+TEST(Drivers, SpeedWeightedStaticHelpsOnHeterogeneousNodes) {
+  // The heterogeneity-aware static policy apportions fragments to node
+  // speeds up front: a half-speed worker gets ~half the fragments. It must
+  // beat blind round-robin on a heterogeneous cluster while producing the
+  // identical report.
+  const auto& w = protein_workload();
+  auto cluster = sim::ClusterConfig::ornl_altix();
+  const int nprocs = 5;
+  cluster.node_speed = {1.0, 0.5, 1.0, 0.5, 1.0};  // rank 0 = master
+
+  pario::ClusterStorage s1(cluster, nprocs), s2(cluster, nprocs);
+  stage_queries(s1, w);
+  stage_queries(s2, w);
+
+  pio::PioBlastOptions rr;
+  rr.scheduler = driver::SchedulerKind::kStaticRoundRobin;
+  rr.job.nfragments = 16;
+  const auto rr_run = run_pio(cluster, nprocs, s1, w, rr);
+
+  pio::PioBlastOptions sw;
+  sw.scheduler = driver::SchedulerKind::kSpeedWeighted;
+  sw.job.nfragments = 16;
+  const auto sw_run = run_pio(cluster, nprocs, s2, w, sw);
+
+  EXPECT_EQ(s1.shared().read_all("out.pio.txt"),
+            s2.shared().read_all("out.pio.txt"));
+  EXPECT_LT(sw_run.phases.total, rr_run.phases.total);
+}
+
+TEST(Drivers, CollectiveInputSpeedWeightedPreservesOutput) {
+  // Speed-weighted plans are uneven, so a worker can hold more ranges than
+  // ceil(total/nworkers); the collective-input round count travels in the
+  // RangeAssignment so no rank drops out of the collective early.
+  const auto& w = protein_workload();
+  auto cluster = sim::ClusterConfig::ornl_altix();
+  const int nprocs = 5;
+  cluster.node_speed = {1.0, 0.25, 1.0, 1.0, 1.0};
+
+  pario::ClusterStorage s1(cluster, nprocs), s2(cluster, nprocs);
+  stage_queries(s1, w);
+  stage_queries(s2, w);
+
+  pio::PioBlastOptions plain;
+  plain.scheduler = driver::SchedulerKind::kSpeedWeighted;
+  plain.job.nfragments = 13;
+  run_pio(cluster, nprocs, s1, w, plain);
+
+  pio::PioBlastOptions coll = plain;
+  coll.collective_input = true;
+  run_pio(cluster, nprocs, s2, w, coll);
+
+  const auto a = s1.shared().read_all("out.pio.txt");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, s2.shared().read_all("out.pio.txt"));
 }
 
 TEST(Drivers, SlowNodesSlowTheJob) {

@@ -202,7 +202,9 @@ TEST(CollectiveWrite, EmptyViewsEverywhereIsANoOp) {
     collective_write(p, fs, "out", FileView{}, {}, {});
   });
   // The file may or may not exist, but it must hold no data.
-  if (fs.exists("out")) EXPECT_EQ(fs.size("out"), 0u);
+  if (fs.exists("out")) {
+    EXPECT_EQ(fs.size("out"), 0u);
+  }
 }
 
 TEST(CollectiveWrite, SingleRankHoldsAllData) {

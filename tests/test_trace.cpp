@@ -79,7 +79,9 @@ TEST(Tracer, RuntimeIntegrationCapturesProtocol) {
   sim::Time send_time = -1;
   for (const auto& e : tracer.sorted()) {
     if (e.kind == TraceKind::kSend && send_time < 0) send_time = e.time;
-    if (e.kind == TraceKind::kRecv) EXPECT_GE(e.time, send_time);
+    if (e.kind == TraceKind::kRecv) {
+      EXPECT_GE(e.time, send_time);
+    }
   }
 }
 

@@ -15,6 +15,8 @@
 #include <sstream>
 
 #include "blast/job.h"
+#include "driver/metrics.h"
+#include "driver/scheduler.h"
 #include "mpiblast/mpiblast.h"
 #include "mpisim/trace.h"
 #include "pioblast/pioblast.h"
@@ -34,6 +36,11 @@ std::string read_file(const std::string& path) {
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
+}
+
+void print_metrics(const char* name, const blast::DriverResult& r) {
+  // One machine-readable line per driver: METRICS <driver> {json}.
+  std::printf("METRICS %s %s\n", name, driver::metrics_json(r.metrics).c_str());
 }
 
 void report(const char* name, const blast::DriverResult& r) {
@@ -68,8 +75,12 @@ int main(int argc, char** argv) {
       .add("evalue", "10", "E-value cutoff")
       .add("output", "", "write the report to this host file")
       .add("seed", "42", "RNG seed for synthetic data")
+      .add("scheduler", "",
+           "task scheduler: greedy | roundrobin | speed-weighted "
+           "(default: greedy for mpiblast, roundrobin for pioblast)")
       .add_flag("early-score-broadcast", "enable the §5 pruning extension")
       .add_flag("dynamic-scheduling", "greedy range scheduling (§5)")
+      .add_flag("metrics", "print one machine-readable METRICS line per run")
       .add_flag("trace", "print the head of the event timeline");
   if (!args.parse(argc, argv)) {
     std::cerr << args.error();
@@ -142,7 +153,11 @@ int main(int argc, char** argv) {
     opts.fragment_bases = parts.fragment_bases;
     opts.fragment_ranges = parts.ranges;
     opts.global_index = parts.global_index;
-    report("mpiBLAST", mpiblast::run_mpiblast(cluster, nprocs, storage, opts));
+    if (!args.get("scheduler").empty())
+      opts.scheduler = driver::parse_scheduler(args.get("scheduler"));
+    const auto result = mpiblast::run_mpiblast(cluster, nprocs, storage, opts);
+    report("mpiBLAST", result);
+    if (args.get_flag("metrics")) print_metrics("mpiblast", result);
     mpi_out = storage.shared().read_all("out.mpiblast.txt");
   }
   if (driver == "pioblast" || driver == "both") {
@@ -154,7 +169,11 @@ int main(int argc, char** argv) {
     opts.job.output_path = "out.pioblast.txt";
     opts.early_score_broadcast = args.get_flag("early-score-broadcast");
     opts.dynamic_scheduling = args.get_flag("dynamic-scheduling");
-    report("pioBLAST", pio::run_pioblast(cluster, nprocs, storage, opts));
+    if (!args.get("scheduler").empty())
+      opts.scheduler = driver::parse_scheduler(args.get("scheduler"));
+    const auto result = pio::run_pioblast(cluster, nprocs, storage, opts);
+    report("pioBLAST", result);
+    if (args.get_flag("metrics")) print_metrics("pioblast", result);
     pio_out = storage.shared().read_all("out.pioblast.txt");
   }
 
