@@ -33,11 +33,13 @@ class Channel {
   void send(mpisim::Process& p, int dst, const T& value) const {
     mpisim::Encoder enc;
     enc.put_obj(value);
-    p.send(dst, tag_, enc.bytes());
+    p.send(dst, tag_, enc.bytes(), mpisim::type_stamp<T>());
   }
 
   T recv(mpisim::Process& p, int src) const {
-    return decode(p.recv(src, tag_));
+    mpisim::Message msg = p.recv(src, tag_);
+    p.check_stamp(msg, tag_, mpisim::type_stamp<T>());
+    return decode(std::move(msg));
   }
 
   struct From {
@@ -48,6 +50,7 @@ class Channel {
   /// Receive from any rank; returns the sender alongside the value.
   From recv_any(mpisim::Process& p) const {
     mpisim::Message msg = p.recv(mpisim::kAnySource, tag_);
+    p.check_stamp(msg, tag_, mpisim::type_stamp<T>());
     const int src = msg.src;
     return {src, decode(std::move(msg))};
   }

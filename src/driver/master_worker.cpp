@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "driver/tags.h"
 #include "mpisim/runtime.h"
+#include "pario/collective.h"
 #include "pario/file.h"
 #include "util/error.h"
 
@@ -53,6 +55,17 @@ void MasterWorkerApp::worker(mpisim::Process&) {
 }
 
 blast::DriverResult MasterWorkerApp::run() {
+  mpisim::RunOptions opts;
+  opts.tracer = tracer_;
+  opts.verify.enabled = verify_;
+  // Seed the tag audit with the driver registry and the pario two-phase
+  // exchange's internal band; any other tag on the wire is a protocol bug.
+  auto registered = registered_tags();
+  opts.verify.registered_tags.assign(registered.begin(), registered.end());
+  auto pario_tags = pario::collective_internal_tags();
+  opts.verify.internal_tags.assign(pario_tags.begin(), pario_tags.end());
+  opts.verify.tag_name = [](int tag) { return tag_label(tag); };
+
   blast::DriverResult result;
   result.report = mpisim::run(
       nprocs_, cluster_,
@@ -68,7 +81,7 @@ blast::DriverResult MasterWorkerApp::run() {
             p.mark("metric " + name + "=" + std::to_string(value));
         }
       },
-      tracer_);
+      opts);
   result.phases = blast::summarize_run(result.report);
 
   std::uint64_t wire_bytes = 0;

@@ -43,6 +43,11 @@ class MasterWorkerApp {
   /// metrics, and returns the DriverResult (metrics snapshot included).
   blast::DriverResult run();
 
+  /// Toggles the protocol verifier for the simulated job (on by default).
+  /// When on, the run is audited for deadlock, collective order, tag
+  /// registry conformance, typed payloads, and message leaks.
+  void set_verify(bool verify) { verify_ = verify; }
+
  protected:
   /// Driver protocol. The default dispatches to master()/worker();
   /// override body() directly for interleaved protocols.
@@ -71,6 +76,7 @@ class MasterWorkerApp {
   const blast::JobConfig& job_;
   std::shared_ptr<const blast::QuerySet> queries_;
   mpisim::Tracer* tracer_;
+  bool verify_ = true;
   WorkerTopology topology_;
   RunMetrics metrics_;
 };

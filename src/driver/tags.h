@@ -9,6 +9,9 @@
 // by adding one enumerator to this file.
 #pragma once
 
+#include <span>
+#include <string>
+
 #include "mpisim/process.h"
 
 namespace pioblast::driver {
@@ -52,5 +55,30 @@ static_assert(all_unique_and_in_band(),
               "collective tag band");
 
 }  // namespace detail
+
+/// Every registered driver tag, for seeding the protocol verifier's tag
+/// audit (mpisim::VerifyOptions::registered_tags).
+inline std::span<const int> registered_tags() { return detail::kAllTags; }
+
+/// Enumerator name of a registered tag, or nullptr for unknown values.
+constexpr const char* tag_name(int tag) {
+  switch (tag) {
+    case kTagWorkReq: return "kTagWorkReq";
+    case kTagAssign: return "kTagAssign";
+    case kTagFetchReq: return "kTagFetchReq";
+    case kTagFetchResp: return "kTagFetchResp";
+    case kTagRanges: return "kTagRanges";
+    case kTagSelect: return "kTagSelect";
+    default: return nullptr;
+  }
+}
+
+/// Human-readable tag for diagnostics: "kTagAssign(2)" for registered
+/// tags, the bare number otherwise.
+inline std::string tag_label(int tag) {
+  if (const char* name = tag_name(tag))
+    return std::string(name) + "(" + std::to_string(tag) + ")";
+  return std::to_string(tag);
+}
 
 }  // namespace pioblast::driver

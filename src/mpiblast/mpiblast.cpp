@@ -38,7 +38,9 @@ class MpiBlastApp final : public driver::MasterWorkerApp {
                         opts.tracer),
         opts_(opts),
         db_stats_(db_stats),
-        scheduler_(driver::make_scheduler(opts.scheduler)) {}
+        scheduler_(driver::make_scheduler(opts.scheduler)) {
+    set_verify(opts.verify);
+  }
 
  private:
   void master(mpisim::Process& p) override;

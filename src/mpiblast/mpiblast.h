@@ -44,6 +44,10 @@ struct MpiBlastOptions {
   blast::JobConfig job;
   /// Optional event tracer (not owned; must outlive the run).
   mpisim::Tracer* tracer = nullptr;
+  /// Protocol verifier (mpisim/verifier.h): audits the run for deadlock,
+  /// collective order, tag registry conformance, typed payloads, and
+  /// message leaks. On by default; `--verify off` in the CLI disables it.
+  bool verify = true;
   std::vector<std::string> fragment_bases;  ///< mpiformatdb outputs, in order
   std::vector<seqdb::SeqRange> fragment_ranges;
   seqdb::DbIndex global_index;

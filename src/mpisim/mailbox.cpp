@@ -1,13 +1,17 @@
 #include "mpisim/mailbox.h"
 
 #include <limits>
+#include <utility>
 
+#include "mpisim/verifier.h"
 #include "util/error.h"
 
 namespace pioblast::mpisim {
 
 namespace {
 constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+constexpr const char* kDefaultPoisonReason =
+    "mpisim: receive aborted (job poisoned)";
 }  // namespace
 
 void Mailbox::push(Message msg) {
@@ -39,41 +43,82 @@ std::size_t Mailbox::find_match(int src, int tag) const {
   return best;
 }
 
-Message Mailbox::pop(int src, int tag) {
-  std::unique_lock lock(mu_);
-  std::size_t idx = kNpos;
-  cv_.wait(lock, [&] {
-    return poisoned_ || (idx = find_match(src, tag)) != kNpos;
-  });
-  if (idx == kNpos) {
-    // Poisoned with no matching message: unwind this rank.
-    throw util::RuntimeError("mpisim: receive aborted (job poisoned)");
-  }
+Message Mailbox::take_at(std::size_t idx) {
   Message msg = std::move(queue_[idx]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
   return msg;
 }
 
-void Mailbox::poison() {
+Message Mailbox::pop(int src, int tag) {
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      const std::size_t idx = find_match(src, tag);
+      if (idx != kNpos) return take_at(idx);
+      if (poisoned_) {
+        if (verify_poison_) throw VerifyError(poison_reason_);
+        throw util::RuntimeError(poison_reason_);
+      }
+    }
+    // No match: this rank is now blocked. The verifier hooks run with the
+    // mailbox lock released — its deadlock scan holds the verifier lock
+    // while probing mailboxes, so calling it the other way around (mailbox
+    // lock held, then verifier lock) would invert the lock order. A
+    // message arriving in the unlocked window is safe: the wait predicate
+    // re-checks before sleeping, and the scan consults has_match() before
+    // declaring a registered rank truly stuck.
+    if (verifier_ != nullptr) verifier_->on_block(rank_, src, tag);
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock,
+               [&] { return poisoned_ || find_match(src, tag) != kNpos; });
+    }
+    if (verifier_ != nullptr) verifier_->on_unblock(rank_);
+  }
+}
+
+void Mailbox::poison() { poison(kDefaultPoisonReason, false); }
+
+void Mailbox::poison(std::string reason, bool verify_failure) {
   {
     std::lock_guard lock(mu_);
-    poisoned_ = true;
+    if (!poisoned_) {  // first reason wins; later poisons keep it
+      poisoned_ = true;
+      verify_poison_ = verify_failure;
+      poison_reason_ = std::move(reason);
+    }
   }
   cv_.notify_all();
+}
+
+void Mailbox::bind_verifier(ProtocolVerifier* verifier, int rank) {
+  verifier_ = verifier;
+  rank_ = rank;
 }
 
 std::optional<Message> Mailbox::try_pop(int src, int tag) {
   std::lock_guard lock(mu_);
   const std::size_t idx = find_match(src, tag);
   if (idx == kNpos) return std::nullopt;
-  Message msg = std::move(queue_[idx]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
-  return msg;
+  return take_at(idx);
 }
 
 std::size_t Mailbox::pending() const {
   std::lock_guard lock(mu_);
   return queue_.size();
+}
+
+bool Mailbox::has_match(int src, int tag) const {
+  std::lock_guard lock(mu_);
+  return find_match(src, tag) != kNpos;
+}
+
+std::vector<Mailbox::PendingInfo> Mailbox::pending_info() const {
+  std::lock_guard lock(mu_);
+  std::vector<PendingInfo> out;
+  out.reserve(queue_.size());
+  for (const Message& m : queue_) out.push_back({m.src, m.tag, m.size()});
+  return out;
 }
 
 }  // namespace pioblast::mpisim

@@ -3,16 +3,25 @@
 // Receives block the host thread until a matching message exists, which is
 // how the simulated ranks synchronize for real; virtual-time ordering is
 // layered on top by Process (receiver clocks max-merge with arrivals).
+//
+// When a ProtocolVerifier is bound (see verifier.h), every blocking pop
+// that finds no match registers the rank as blocked, which is the event
+// stream the verifier's deadlock detection runs on.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "mpisim/message.h"
 
 namespace pioblast::mpisim {
+
+class ProtocolVerifier;
 
 class Mailbox {
  public:
@@ -32,19 +41,50 @@ class Mailbox {
   /// Number of currently queued messages (diagnostics/tests).
   std::size_t pending() const;
 
+  /// True when a blocking pop(src, tag) would return without waiting.
+  /// Used by the verifier's deadlock scan to exonerate a rank whose
+  /// matching message arrived between its match check and its blocked
+  /// registration.
+  bool has_match(int src, int tag) const;
+
+  /// Provenance of every still-queued message, for the verifier's
+  /// end-of-job leak report.
+  struct PendingInfo {
+    int src = 0;
+    int tag = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<PendingInfo> pending_info() const;
+
   /// Marks the mailbox as poisoned: current and future blocking pops with
   /// no matching message throw RuntimeError. Used to unwind all rank
   /// threads when one rank fails.
   void poison();
 
+  /// Poison with an explanatory reason; when `verify_failure` is set the
+  /// unblocked pops throw VerifyError so a verifier report survives the
+  /// unwind as the job's error regardless of which rank records it first.
+  void poison(std::string reason, bool verify_failure = false);
+
+  /// Binds the protocol verifier (not owned) and this mailbox's rank.
+  /// Must happen before any rank thread starts popping.
+  void bind_verifier(ProtocolVerifier* verifier, int rank);
+
  private:
   /// Index of best match in queue_, or npos. Caller holds the lock.
   std::size_t find_match(int src, int tag) const;
+
+  /// Removes and returns queue_[idx]. Caller holds the lock.
+  Message take_at(std::size_t idx);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool poisoned_ = false;
+  bool verify_poison_ = false;
+  std::string poison_reason_;
+  ProtocolVerifier* verifier_ = nullptr;
+  int rank_ = -1;
 };
 
 }  // namespace pioblast::mpisim

@@ -4,12 +4,19 @@
 #include <cstdint>
 #include <vector>
 
+#include "mpisim/verify.h"
 #include "sim/time.h"
 
 namespace pioblast::mpisim {
 
 /// Wildcard source rank for receives (analogue of MPI_ANY_SOURCE).
 inline constexpr int kAnySource = -1;
+
+/// Tags at or above this value are reserved for the runtime's internal
+/// collectives and infrastructure protocols; driver-level tags must stay
+/// below it (the central registry in driver/tags.h static-asserts this,
+/// and the protocol verifier audits it at run time).
+inline constexpr int kDriverTagLimit = 1 << 24;
 
 /// One in-flight or delivered message. `arrival` is the virtual time at
 /// which the message becomes visible to the receiver (sender completion
@@ -19,6 +26,11 @@ struct Message {
   int tag = 0;
   sim::Time arrival = 0.0;
   std::vector<std::uint8_t> payload;
+
+  /// Sender-side type identity for typed payloads (fp == 0 for raw byte
+  /// sends). Not part of the simulated wire size — it models the static
+  /// type knowledge both ends of a correct protocol already share.
+  TypeStamp stamp{};
 
   std::uint64_t size() const { return payload.size(); }
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mpisim/verifier.h"
+
 namespace pioblast::mpisim {
 
 Process::Process(int rank, World& world) : rank_(rank), world_(world) {
@@ -40,9 +42,11 @@ util::PhaseTimer& Process::phases() {
   return phases_;
 }
 
-void Process::send(int dst, int tag, std::span<const std::uint8_t> data) {
+void Process::send(int dst, int tag, std::span<const std::uint8_t> data,
+                   TypeStamp stamp) {
   PIOBLAST_CHECK_MSG(dst >= 0 && dst < size(), "send to invalid rank " << dst);
   PIOBLAST_CHECK_MSG(dst != rank_, "send to self is not supported");
+  if (ProtocolVerifier* v = world_.verifier()) v->on_send(rank_, dst, tag);
   const auto& net = cluster().network;
   clock_.advance(net.send_cost(data.size()));
   Message msg;
@@ -50,6 +54,7 @@ void Process::send(int dst, int tag, std::span<const std::uint8_t> data) {
   msg.tag = tag;
   msg.arrival = clock_.now() + net.wire_latency();
   msg.payload.assign(data.begin(), data.end());
+  msg.stamp = stamp;
   bytes_sent_ += data.size();
   ++messages_sent_;
   if (Tracer* t = world_.tracer()) {
@@ -61,6 +66,7 @@ void Process::send(int dst, int tag, std::span<const std::uint8_t> data) {
 }
 
 Message Process::recv(int src, int tag) {
+  if (ProtocolVerifier* v = world_.verifier()) v->on_recv_posted(rank_, src, tag);
   Message msg = world_.mailbox(rank_).pop(src, tag);
   clock_.advance_to(msg.arrival);
   clock_.advance(cluster().network.recv_cost(msg.size()));
@@ -72,7 +78,34 @@ Message Process::recv(int src, int tag) {
   return msg;
 }
 
+void Process::check_stamp(const Message& msg, int tag, TypeStamp expected) {
+  if (ProtocolVerifier* v = world_.verifier())
+    v->check_stamp(rank_, tag, msg, expected);
+}
+
+std::string Process::tag_label(int tag) const {
+  if (ProtocolVerifier* v = world_.verifier()) return v->tag_label(tag);
+  return std::to_string(tag);
+}
+
+std::span<const int> Process::internal_tags() {
+  static constexpr int kTags[] = {kTagBarrierUp, kTagBarrierDown, kTagBcast,
+                                  kTagGather, kTagReduce};
+  return kTags;
+}
+
+void Process::enter_collective(const char* op, int root) {
+  const std::uint64_t seq = collectives_entered_++;
+  if (Tracer* t = world_.tracer()) {
+    t->record(rank_, clock_.now(), TraceKind::kCollective,
+              std::string(op) + " root=" + std::to_string(root) +
+                  " seq=" + std::to_string(seq));
+  }
+  if (ProtocolVerifier* v = world_.verifier()) v->on_collective(rank_, op, root);
+}
+
 void Process::barrier() {
+  enter_collective("barrier", 0);
   // Flat barrier through rank 0: every rank reports in, rank 0 releases.
   // Clocks converge to rank 0's post-collection time plus the release hop,
   // so a barrier also acts as a virtual-clock synchronization point.
@@ -87,6 +120,7 @@ void Process::barrier() {
 
 void Process::bcast(std::vector<std::uint8_t>& data, int root) {
   PIOBLAST_CHECK(root >= 0 && root < size());
+  enter_collective("bcast", root);
   // Binomial tree rooted at `root`, ranks renumbered relative to it.
   // A non-root rank `rel` receives from parent `rel - m` in round
   // log2(m), where m is the highest power of two not exceeding rel, then
@@ -113,6 +147,7 @@ void Process::bcast(std::vector<std::uint8_t>& data, int root) {
 std::vector<std::vector<std::uint8_t>> Process::gather(
     std::span<const std::uint8_t> data, int root) {
   PIOBLAST_CHECK(root >= 0 && root < size());
+  enter_collective("gather", root);
   std::vector<std::vector<std::uint8_t>> out;
   if (rank_ == root) {
     out.resize(static_cast<std::size_t>(size()));
@@ -131,6 +166,7 @@ std::vector<std::vector<std::uint8_t>> Process::gather(
 }
 
 sim::Time Process::allreduce_max(sim::Time value) {
+  enter_collective("allreduce_max", 0);
   // Reduce to rank 0, then broadcast the result.
   if (rank_ == 0) {
     sim::Time best = value;

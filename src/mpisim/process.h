@@ -10,7 +10,9 @@
 // Collectives are implemented on top of these primitives (flat gather at the
 // root — which faithfully reproduces master incast serialization — and a
 // binomial tree for broadcast). All ranks of a job must call collectives in
-// the same order, as in MPI.
+// the same order, as in MPI; with the protocol verifier on (the default),
+// that rule — plus tag registration and typed-payload conformance — is
+// enforced at run time (see verifier.h).
 #pragma once
 
 #include <cstdint>
@@ -25,11 +27,6 @@
 #include "util/phase_timer.h"
 
 namespace pioblast::mpisim {
-
-/// Tags at or above this value are reserved for the runtime's internal
-/// collectives; driver-level tags must stay below it (the central registry
-/// in driver/tags.h static-asserts this).
-inline constexpr int kDriverTagLimit = 1 << 24;
 
 class Process {
  public:
@@ -75,8 +72,11 @@ class Process {
 
   // ---- point-to-point ----------------------------------------------------
 
-  /// Sends `data` to rank `dst` with `tag`; charges injection cost.
-  void send(int dst, int tag, std::span<const std::uint8_t> data);
+  /// Sends `data` to rank `dst` with `tag`; charges injection cost. Typed
+  /// sends attach a TypeStamp so the receiving end can verify the payload
+  /// type (raw byte sends leave it empty — unchecked).
+  void send(int dst, int tag, std::span<const std::uint8_t> data,
+            TypeStamp stamp = {});
 
   /// Blocking receive; `src` may be kAnySource. Charges receive cost and
   /// max-merges the clock with the message's virtual arrival time.
@@ -87,7 +87,8 @@ class Process {
     requires std::is_trivially_copyable_v<T>
   void send_value(int dst, int tag, const T& value) {
     send(dst, tag,
-         std::span(reinterpret_cast<const std::uint8_t*>(&value), sizeof(T)));
+         std::span(reinterpret_cast<const std::uint8_t*>(&value), sizeof(T)),
+         type_stamp<T>());
   }
 
   /// Receives a trivially-copyable value from `src`.
@@ -95,13 +96,25 @@ class Process {
     requires std::is_trivially_copyable_v<T>
   T recv_value(int src, int tag) {
     Message m = recv(src, tag);
+    check_stamp(m, tag, type_stamp<T>());
     PIOBLAST_CHECK_MSG(m.payload.size() == sizeof(T),
-                       "typed recv size mismatch: got " << m.payload.size()
-                                                        << ", want " << sizeof(T));
+                       "typed recv size mismatch: got "
+                           << m.payload.size() << " bytes, want " << sizeof(T)
+                           << " (" << type_stamp<T>().name << ") from rank "
+                           << m.src << ", tag " << tag_label(tag));
     T value;
     std::memcpy(&value, m.payload.data(), sizeof(T));
     return value;
   }
+
+  /// Verifies a received message's type stamp against the type this end
+  /// expects (no-op when verification is off or the message is
+  /// unstamped). Throws VerifyError on type confusion.
+  void check_stamp(const Message& msg, int tag, TypeStamp expected);
+
+  /// Registered name of `tag` ("kTagAssign(2)") when the verifier carries
+  /// a tag namer, else the bare number.
+  std::string tag_label(int tag) const;
 
   // ---- collectives (flat/binomial over p2p) ------------------------------
 
@@ -123,6 +136,11 @@ class Process {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
 
+  /// The runtime-internal tags the collectives above use; the verifier's
+  /// internal-band audit treats them (plus VerifyOptions::internal_tags)
+  /// as the only legitimate tags at or above kDriverTagLimit.
+  static std::span<const int> internal_tags();
+
  private:
   int rank_;
   World& world_;
@@ -132,6 +150,7 @@ class Process {
   sim::Time phase_mark_ = 0.0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t collectives_entered_ = 0;
 
   /// Internal tag space for collectives (drivers must use tags below this).
   static constexpr int kInternalTagBase = kDriverTagLimit;
@@ -142,6 +161,10 @@ class Process {
   static constexpr int kTagReduce = kInternalTagBase + 4;
 
   void accrue_phase();
+
+  /// Records the collective's trace fingerprint and runs the verifier's
+  /// order check. Called on entry by every collective, on every rank.
+  void enter_collective(const char* op, int root);
 };
 
 }  // namespace pioblast::mpisim

@@ -1,9 +1,11 @@
 #include "mpisim/runtime.h"
 
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "mpisim/verifier.h"
 #include "mpisim/world.h"
 
 namespace pioblast::mpisim {
@@ -27,10 +29,17 @@ sim::Time RunReport::phase_of(int rank, const std::string& phase) const {
 }
 
 RunReport run(int nranks, const sim::ClusterConfig& cluster,
-              const std::function<void(Process&)>& rank_fn, Tracer* tracer) {
+              const std::function<void(Process&)>& rank_fn,
+              const RunOptions& opts) {
   PIOBLAST_CHECK(nranks >= 1);
   World world(nranks, cluster);
-  world.set_tracer(tracer);
+  world.set_tracer(opts.tracer);
+  if (opts.verify.enabled) {
+    auto internal = Process::internal_tags();
+    world.install_verifier(std::make_unique<ProtocolVerifier>(
+        opts.verify, opts.tracer,
+        std::vector<int>(internal.begin(), internal.end())));
+  }
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(nranks));
 
@@ -48,6 +57,10 @@ RunReport run(int nranks, const sim::ClusterConfig& cluster,
       }
       world.abort();
     }
+    // The rank is no longer live; the verifier may now find the remaining
+    // ranks deadlocked (it poisons them with the report — this path must
+    // not throw, as it runs outside the try block above).
+    if (ProtocolVerifier* v = world.verifier()) v->on_rank_done(rank);
     auto& rr = report.ranks[static_cast<std::size_t>(rank)];
     rr.rank = rank;
     rr.phases = proc.phases();  // flushes the open phase
@@ -62,7 +75,15 @@ RunReport run(int nranks, const sim::ClusterConfig& cluster,
   for (auto& t : threads) t.join();
 
   if (first_error) std::rethrow_exception(first_error);
+  if (ProtocolVerifier* v = world.verifier()) v->check_leaks();
   return report;
+}
+
+RunReport run(int nranks, const sim::ClusterConfig& cluster,
+              const std::function<void(Process&)>& rank_fn, Tracer* tracer) {
+  RunOptions opts;
+  opts.tracer = tracer;
+  return run(nranks, cluster, rank_fn, opts);
 }
 
 }  // namespace pioblast::mpisim

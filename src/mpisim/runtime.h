@@ -12,10 +12,21 @@
 #include <vector>
 
 #include "mpisim/process.h"
+#include "mpisim/verify.h"
 #include "sim/cluster.h"
 #include "util/phase_timer.h"
 
 namespace pioblast::mpisim {
+
+/// Runtime configuration beyond the job function itself.
+struct RunOptions {
+  /// Optional event tracer (not owned; must outlive the run).
+  Tracer* tracer = nullptr;
+  /// Protocol-verifier configuration; enabled by default, so every run —
+  /// and therefore every test — doubles as a protocol audit (deadlock,
+  /// collective order, tag registry, typed payloads, message leaks).
+  VerifyOptions verify{};
+};
 
 /// Per-rank results collected after the rank function returns.
 struct RankReport {
@@ -43,8 +54,16 @@ struct RunReport {
 
 /// Runs `rank_fn` on `nranks` simulated processes over `cluster`.
 /// Blocks until every rank finishes; rethrows the first rank exception.
-/// When `tracer` is non-null, every rank records phase/message events
-/// into it (see trace.h).
+/// When `opts.tracer` is non-null, every rank records phase/message
+/// events into it (see trace.h). When `opts.verify.enabled` (the
+/// default), a ProtocolVerifier watches the whole job and a VerifyError
+/// is thrown on deadlock, misordered collectives, tag misuse, typed
+/// payload confusion, or messages left undrained at job end.
+RunReport run(int nranks, const sim::ClusterConfig& cluster,
+              const std::function<void(Process&)>& rank_fn,
+              const RunOptions& opts);
+
+/// Convenience overload with default verification.
 RunReport run(int nranks, const sim::ClusterConfig& cluster,
               const std::function<void(Process&)>& rank_fn,
               Tracer* tracer = nullptr);

@@ -20,6 +20,10 @@ const char* to_string(TraceKind kind) {
       return "IO";
     case TraceKind::kMark:
       return "MARK";
+    case TraceKind::kCollective:
+      return "COLL";
+    case TraceKind::kVerify:
+      return "VRFY";
   }
   return "?";
 }

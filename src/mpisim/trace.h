@@ -29,6 +29,8 @@ enum class TraceKind : std::uint8_t {
   kCompute,  ///< explicit compute charge
   kIo,       ///< timed file operation
   kMark,     ///< driver-defined annotation
+  kCollective,  ///< collective entry (detail: "<op> root=<r> seq=<n>")
+  kVerify,      ///< protocol-verifier report (failed check, full text)
 };
 
 const char* to_string(TraceKind kind);

@@ -1,0 +1,97 @@
+// Protocol-verification vocabulary shared by the runtime and its users.
+//
+// The simulated MPI layer inherits real MPI's failure modes: a mismatched
+// send/recv deadlocks the job forever, collectives called in different
+// orders across ranks silently cross-match, and messages left in a mailbox
+// at job end vanish without diagnosis. The ProtocolVerifier (verifier.h)
+// turns each of those into a fast, readable failure; this header holds the
+// types callers need to configure it or catch its reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pioblast::mpisim {
+
+/// Thrown when a protocol check fails: deadlock, misordered collective,
+/// unregistered or misused tag, typed-payload confusion, or messages left
+/// undrained at job end. The what() string is the full report.
+class VerifyError : public util::RuntimeError {
+ public:
+  explicit VerifyError(const std::string& what) : util::RuntimeError(what) {}
+};
+
+/// Compile-time identity of a typed payload. Sends of typed values stamp
+/// the outgoing message with one; typed receives verify it, so two types
+/// that merely coincide in size can no longer be confused on the wire.
+/// fp == 0 means "unstamped" (raw byte payload, not checked).
+struct TypeStamp {
+  std::uint64_t fp = 0;
+  std::string_view name{};
+};
+
+namespace detail {
+
+/// Human-readable name of T, parsed out of the compiler's pretty function
+/// signature (static storage, so the view stays valid for the program).
+template <typename T>
+constexpr std::string_view raw_type_name() {
+#if defined(__clang__) || defined(__GNUC__)
+  constexpr std::string_view sig = __PRETTY_FUNCTION__;
+  constexpr std::string_view key = "T = ";
+  const auto start = sig.find(key) + key.size();
+  const auto end = sig.find_first_of(";]", start);
+  return sig.substr(start, end - start);
+#else
+  return "unknown-type";
+#endif
+}
+
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace detail
+
+/// The stamp typed sends attach for T (see Process::send_value and
+/// driver::Channel<T>).
+template <typename T>
+constexpr TypeStamp type_stamp() {
+  constexpr std::string_view name = detail::raw_type_name<T>();
+  return {detail::fnv1a(name), name};
+}
+
+/// Verifier configuration, passed to the runtime via RunOptions.
+struct VerifyOptions {
+  /// Master switch. On by default: deadlock, collective-order, leak, and
+  /// type-stamp checks have no false positives on a correct program.
+  bool enabled = true;
+
+  /// Driver-band tag registry (tags below kDriverTagLimit). When
+  /// non-empty, every point-to-point tag in the driver band must be in
+  /// this set and internal-band tags must be known to the runtime — the
+  /// driver layer passes driver::registered_tags(). Empty disables the
+  /// tag audit (standalone mpisim programs pick tags freely).
+  std::vector<int> registered_tags;
+
+  /// Extra infrastructure tags above kDriverTagLimit that are legitimate
+  /// besides the runtime's own collective tags (e.g. the pario two-phase
+  /// I/O tags). Only consulted when `registered_tags` is non-empty.
+  std::vector<int> internal_tags;
+
+  /// Pretty-printer for driver tags in reports (falls back to the bare
+  /// number when unset or when it returns an empty string).
+  std::function<std::string(int)> tag_name;
+};
+
+}  // namespace pioblast::mpisim

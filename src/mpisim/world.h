@@ -1,15 +1,19 @@
 // Shared state of one simulated parallel job.
 //
-// A World owns one mailbox per rank plus the cluster description. It is
-// created by the runtime (see runtime.h) and shared by every rank thread.
+// A World owns one mailbox per rank plus the cluster description and (when
+// verification is on) the ProtocolVerifier every mailbox and Process
+// reports into. It is created by the runtime (see runtime.h) and shared by
+// every rank thread.
 #pragma once
 
 #include <atomic>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "mpisim/mailbox.h"
 #include "mpisim/trace.h"
+#include "mpisim/verifier.h"
 #include "sim/cluster.h"
 #include "util/error.h"
 
@@ -36,9 +40,12 @@ class World {
   }
 
   /// Signals a fatal error: every blocked receive throws, unwinding all
-  /// rank threads so the runtime can report the original exception.
+  /// rank threads so the runtime can report the original exception. The
+  /// verifier (if any) is disabled first so the unwind cannot trigger
+  /// cascading protocol reports.
   void abort() {
     aborted_.store(true, std::memory_order_release);
+    if (verifier_) verifier_->on_abort();
     for (auto& mb : mailboxes_) mb->poison();
   }
 
@@ -49,12 +56,28 @@ class World {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
+  /// Installs the protocol verifier (owned) and binds every mailbox to
+  /// it. Must be called before rank threads start.
+  void install_verifier(std::unique_ptr<ProtocolVerifier> verifier) {
+    verifier_ = std::move(verifier);
+    std::vector<Mailbox*> boxes;
+    boxes.reserve(mailboxes_.size());
+    for (auto& mb : mailboxes_) boxes.push_back(mb.get());
+    verifier_->attach(boxes);
+    for (int r = 0; r < size_; ++r)
+      mailboxes_[static_cast<std::size_t>(r)]->bind_verifier(verifier_.get(), r);
+  }
+
+  /// The installed verifier, or null when verification is off.
+  ProtocolVerifier* verifier() const { return verifier_.get(); }
+
  private:
   int size_;
   sim::ClusterConfig cluster_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<bool> aborted_{false};
   Tracer* tracer_ = nullptr;
+  std::unique_ptr<ProtocolVerifier> verifier_;
 };
 
 }  // namespace pioblast::mpisim

@@ -278,4 +278,9 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
   return out;
 }
 
+std::span<const int> collective_internal_tags() {
+  static constexpr int kTags[] = {kTagShuffle, kTagReadReq, kTagReadResp};
+  return kTags;
+}
+
 }  // namespace pioblast::pario

@@ -77,4 +77,9 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
                                           const FileView& view,
                                           const CollectiveConfig& cfg = {});
 
+/// The internal-band tags the two-phase exchange uses. Drivers that run
+/// with the protocol verifier must pass these through
+/// mpisim::VerifyOptions::internal_tags or the tag audit rejects them.
+std::span<const int> collective_internal_tags();
+
 }  // namespace pioblast::pario

@@ -39,7 +39,9 @@ class PioBlastApp final : public driver::MasterWorkerApp {
                         opts.tracer),
         opts_(opts),
         scheduler_(driver::make_scheduler(kind)),
-        dynamic_(kind == driver::SchedulerKind::kGreedyDynamic) {}
+        dynamic_(kind == driver::SchedulerKind::kGreedyDynamic) {
+    set_verify(opts.verify);
+  }
 
  private:
   // The protocol interleaves master and worker steps around shared

@@ -50,6 +50,10 @@ struct PioBlastOptions {
   blast::JobConfig job;
   /// Optional event tracer (not owned; must outlive the run).
   mpisim::Tracer* tracer = nullptr;
+  /// Protocol verifier (mpisim/verifier.h): audits the run for deadlock,
+  /// collective order, tag registry conformance, typed payloads, and
+  /// message leaks. On by default; `--verify off` in the CLI disables it.
+  bool verify = true;
   bool early_score_broadcast = false;  ///< §5 local-pruning extension
   bool collective_input = false;       ///< read input ranges collectively
   /// Range-assignment policy. Static policies (round-robin, the

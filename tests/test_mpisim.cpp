@@ -3,8 +3,10 @@
 // poisoning, and virtual-clock behaviour under communication.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <thread>
 
 #include "mpisim/mailbox.h"
 #include "mpisim/runtime.h"
@@ -105,6 +107,96 @@ TEST(Mailbox, PoisonUnblocksWithError) {
   Mailbox mb;
   mb.poison();
   EXPECT_THROW(mb.pop(1, 1), util::RuntimeError);
+}
+
+TEST(Mailbox, TryPopMissLeavesQueueIntactAndHitDrains) {
+  Mailbox mb;
+  mb.push({1, 5, 0.0, bytes_of("x")});
+  EXPECT_FALSE(mb.try_pop(2, 5).has_value());  // wrong source
+  EXPECT_FALSE(mb.try_pop(1, 6).has_value());  // wrong tag
+  EXPECT_EQ(mb.pending(), 1u);
+  const auto m = mb.try_pop(kAnySource, 5);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->src, 1);
+  EXPECT_EQ(mb.pending(), 0u);
+  EXPECT_FALSE(mb.try_pop(kAnySource, 5).has_value());  // now empty
+}
+
+TEST(Mailbox, PoisonRacesBlockedPop) {
+  // The poison must wake a pop that is already asleep in the cv wait, not
+  // just reject future calls.
+  Mailbox mb;
+  std::thread receiver([&] {
+    EXPECT_THROW(mb.pop(1, 1), util::RuntimeError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  mb.poison();
+  receiver.join();
+}
+
+TEST(Mailbox, VerifyPoisonCarriesReasonAsVerifyError) {
+  Mailbox mb;
+  mb.poison("protocol verifier: test report", /*verify_failure=*/true);
+  try {
+    mb.pop(1, 1);
+    FAIL() << "poisoned pop returned";
+  } catch (const VerifyError& e) {
+    EXPECT_STREQ(e.what(), "protocol verifier: test report");
+  }
+}
+
+TEST(Mailbox, FirstPoisonReasonWins) {
+  Mailbox mb;
+  mb.poison("first reason");
+  mb.poison("second reason");
+  try {
+    mb.pop(1, 1);
+    FAIL() << "poisoned pop returned";
+  } catch (const util::RuntimeError& e) {
+    EXPECT_STREQ(e.what(), "first reason");
+  }
+}
+
+TEST(Mailbox, AnySourceEqualArrivalPrefersLowestSender) {
+  Mailbox mb;
+  mb.push({4, 5, 2.0, {}});
+  mb.push({2, 5, 2.0, {}});
+  mb.push({3, 5, 2.0, {}});
+  EXPECT_EQ(mb.pop(kAnySource, 5).src, 2);
+  EXPECT_EQ(mb.pop(kAnySource, 5).src, 3);
+  EXPECT_EQ(mb.pop(kAnySource, 5).src, 4);
+}
+
+TEST(Mailbox, AnySourceEqualArrivalSameSenderIsFifo) {
+  Mailbox mb;
+  mb.push({1, 5, 2.0, bytes_of("first")});
+  mb.push({1, 5, 2.0, bytes_of("second")});
+  const Message m = mb.pop(kAnySource, 5);
+  EXPECT_EQ(std::string(m.payload.begin(), m.payload.end()), "first");
+}
+
+TEST(Mailbox, PendingInfoDescribesQueuedMessages) {
+  Mailbox mb;
+  mb.push({1, 5, 0.0, bytes_of("abc")});
+  mb.push({2, 9, 0.0, bytes_of("defgh")});
+  const auto infos = mb.pending_info();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].src, 1);
+  EXPECT_EQ(infos[0].tag, 5);
+  EXPECT_EQ(infos[0].bytes, 3u);
+  EXPECT_EQ(infos[1].src, 2);
+  EXPECT_EQ(infos[1].tag, 9);
+  EXPECT_EQ(infos[1].bytes, 5u);
+}
+
+TEST(Mailbox, HasMatchChecksWithoutDraining) {
+  Mailbox mb;
+  mb.push({1, 5, 0.0, {}});
+  EXPECT_TRUE(mb.has_match(1, 5));
+  EXPECT_TRUE(mb.has_match(kAnySource, 5));
+  EXPECT_FALSE(mb.has_match(2, 5));
+  EXPECT_FALSE(mb.has_match(1, 6));
+  EXPECT_EQ(mb.pending(), 1u);
 }
 
 // ---------- runtime / process --------------------------------------------

@@ -78,6 +78,9 @@ int main(int argc, char** argv) {
       .add("scheduler", "",
            "task scheduler: greedy | roundrobin | speed-weighted "
            "(default: greedy for mpiblast, roundrobin for pioblast)")
+      .add("verify", "on",
+           "protocol verifier (deadlock, collective order, tag audit, typed "
+           "payloads, message leaks): on | off")
       .add_flag("early-score-broadcast", "enable the §5 pruning extension")
       .add_flag("dynamic-scheduling", "greedy range scheduling (§5)")
       .add_flag("metrics", "print one machine-readable METRICS line per run")
@@ -137,6 +140,7 @@ int main(int argc, char** argv) {
   job.nfragments = static_cast<int>(args.get_int("fragments"));
 
   const std::string driver = args.get("driver");
+  const bool verify = args.get("verify") != "off";
   mpisim::Tracer tracer;
   mpisim::Tracer* trace_ptr = args.get_flag("trace") ? &tracer : nullptr;
 
@@ -149,6 +153,7 @@ int main(int argc, char** argv) {
     mpiblast::MpiBlastOptions opts;
     opts.job = job;
     opts.tracer = trace_ptr;
+    opts.verify = verify;
     opts.job.output_path = "out.mpiblast.txt";
     opts.fragment_bases = parts.fragment_bases;
     opts.fragment_ranges = parts.ranges;
@@ -166,6 +171,7 @@ int main(int argc, char** argv) {
     pio::PioBlastOptions opts;
     opts.job = job;
     opts.tracer = trace_ptr;
+    opts.verify = verify;
     opts.job.output_path = "out.pioblast.txt";
     opts.early_score_broadcast = args.get_flag("early-score-broadcast");
     opts.dynamic_scheduling = args.get_flag("dynamic-scheduling");
