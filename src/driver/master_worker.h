@@ -13,12 +13,14 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "blast/driver.h"
 #include "blast/job.h"
 #include "blast/query_set.h"
 #include "driver/metrics.h"
 #include "driver/scheduler.h"
+#include "mpisim/fault.h"
 #include "mpisim/process.h"
 #include "mpisim/trace.h"
 #include "pario/env.h"
@@ -47,6 +49,12 @@ class MasterWorkerApp {
   /// When on, the run is audited for deadlock, collective order, tag
   /// registry conformance, typed payloads, and message leaks.
   void set_verify(bool verify) { verify_ = verify; }
+
+  /// Arms fault injections (crashes, stragglers, drops) for the run. An
+  /// active plan also switches the runtime and drivers into their
+  /// fault-tolerant paths (flat collectives, master liveness tracking,
+  /// degraded collective I/O). See mpisim/fault.h.
+  void set_faults(mpisim::FaultPlan faults) { faults_ = std::move(faults); }
 
  protected:
   /// Driver protocol. The default dispatches to master()/worker();
@@ -77,6 +85,7 @@ class MasterWorkerApp {
   std::shared_ptr<const blast::QuerySet> queries_;
   mpisim::Tracer* tracer_;
   bool verify_ = true;
+  mpisim::FaultPlan faults_;
   WorkerTopology topology_;
   RunMetrics metrics_;
 };

@@ -28,6 +28,11 @@ inline constexpr std::string_view kMetricTasksAssigned = "tasks_assigned";
 inline constexpr std::string_view kMetricWireBytes = "wire_bytes_sent";
 inline constexpr std::string_view kMetricWireMessages = "wire_messages_sent";
 
+// Fault-tolerance counters (only emitted by fault-tolerant runs).
+inline constexpr std::string_view kMetricTasksReassigned = "tasks_reassigned";
+inline constexpr std::string_view kMetricRanksLost = "ranks_lost";
+inline constexpr std::string_view kMetricRecoveryUsec = "recovery_usec";
+
 /// Thread-safe named-counter registry. Counters spring into existence on
 /// first touch; snapshots are name-ordered, so output is deterministic.
 class RunMetrics {

@@ -1,6 +1,8 @@
 #include "driver/scheduler.h"
 
+#include <cmath>
 #include <deque>
+#include <utility>
 
 #include "util/error.h"
 
@@ -54,6 +56,21 @@ std::vector<std::vector<std::uint32_t>> Scheduler::plan(
 
 namespace {
 
+/// Tasks returned to the pool after their worker died, with the worker
+/// each one must not be offered to again. Shared by all policies.
+using RequeuePool = std::deque<std::pair<std::uint32_t, int>>;
+
+/// Pops the first requeued task eligible for `worker`, or kNoTask.
+std::int64_t take_requeued(RequeuePool& pool, int worker) {
+  for (auto it = pool.begin(); it != pool.end(); ++it) {
+    if (it->second == worker) continue;  // dead worker's own task
+    const std::uint32_t t = it->first;
+    pool.erase(it);
+    return t;
+  }
+  return Scheduler::kNoTask;
+}
+
 /// First-come-first-served: the next un-assigned task goes to whichever
 /// worker asks first (the paper's greedy master loop).
 class GreedyDynamic final : public Scheduler {
@@ -64,15 +81,25 @@ class GreedyDynamic final : public Scheduler {
   void reset(std::uint32_t ntasks, const WorkerTopology&) override {
     ntasks_ = ntasks;
     next_ = 0;
+    requeued_.clear();
   }
 
-  std::int64_t next(int) override {
+  std::int64_t next(int worker) override {
+    // Recovered tasks first: they are the oldest work in the system and
+    // gate job completion.
+    const std::int64_t re = take_requeued(requeued_, worker);
+    if (re != kNoTask) return re;
     return next_ < ntasks_ ? static_cast<std::int64_t>(next_++) : kNoTask;
+  }
+
+  void requeue(std::uint32_t task, int excluded_worker) override {
+    requeued_.emplace_back(task, excluded_worker);
   }
 
  private:
   std::uint32_t ntasks_ = 0;
   std::uint32_t next_ = 0;
+  RequeuePool requeued_;
 };
 
 /// Base for policies whose per-worker queues are precomputed in reset().
@@ -84,14 +111,23 @@ class PlannedScheduler : public Scheduler {
     PIOBLAST_CHECK(worker >= 0 &&
                    static_cast<std::size_t>(worker) < queues_.size());
     auto& q = queues_[static_cast<std::size_t>(worker)];
-    if (q.empty()) return kNoTask;
-    const std::uint32_t t = q.front();
-    q.pop_front();
-    return t;
+    if (!q.empty()) {
+      const std::uint32_t t = q.front();
+      q.pop_front();
+      return t;
+    }
+    // Own plan drained: pick up work orphaned by a dead worker (its
+    // planned queue can no longer be served by its owner).
+    return take_requeued(requeued_, worker);
+  }
+
+  void requeue(std::uint32_t task, int excluded_worker) override {
+    requeued_.emplace_back(task, excluded_worker);
   }
 
  protected:
   std::vector<std::deque<std::uint32_t>> queues_;
+  RequeuePool requeued_;
 };
 
 class StaticRoundRobin final : public PlannedScheduler {
@@ -100,6 +136,7 @@ class StaticRoundRobin final : public PlannedScheduler {
 
   void reset(std::uint32_t ntasks, const WorkerTopology& topo) override {
     queues_.assign(static_cast<std::size_t>(topo.nworkers), {});
+    requeued_.clear();
     for (std::uint32_t t = 0; t < ntasks; ++t)
       queues_[t % static_cast<std::uint32_t>(topo.nworkers)].push_back(t);
   }
@@ -116,6 +153,18 @@ class SpeedWeightedStatic final : public PlannedScheduler {
   void reset(std::uint32_t ntasks, const WorkerTopology& topo) override {
     const auto n = static_cast<std::size_t>(topo.nworkers);
     queues_.assign(n, {});
+    requeued_.clear();
+    // A zero or negative speed makes every quotient non-positive and the
+    // divisor sweep degenerates (all tasks pile onto worker 0), so reject
+    // invalid speeds loudly instead of silently misassigning. Validated
+    // even when ntasks == 0: a bad topology is a bug regardless of load.
+    for (std::size_t w = 0; w < n; ++w) {
+      const double speed = w < topo.speed.size() ? topo.speed[w] : 1.0;
+      PIOBLAST_CHECK_MSG(std::isfinite(speed) && speed > 0.0,
+                         "speed-weighted scheduler: worker "
+                             << w << " has invalid node speed " << speed
+                             << " (speeds must be finite and > 0)");
+    }
     std::vector<std::uint32_t> assigned(n, 0);
     for (std::uint32_t t = 0; t < ntasks; ++t) {
       std::size_t best = 0;

@@ -72,6 +72,13 @@ class Scheduler {
   /// Next task for `worker` (0-based), or kNoTask when it has drained.
   virtual std::int64_t next(int worker) = 0;
 
+  /// Returns a previously handed-out task to the pool after its worker
+  /// was lost. The task becomes eligible for any worker *except*
+  /// `excluded_worker` (the dead one must never be offered its own work
+  /// back). Used by the fault-tolerant serve loop; pass -1 to exclude
+  /// nobody.
+  virtual void requeue(std::uint32_t task, int excluded_worker) = 0;
+
   /// Upfront per-worker plans (ordered task lists). Only valid for static
   /// policies; resets internal state.
   std::vector<std::vector<std::uint32_t>> plan(std::uint32_t ntasks,

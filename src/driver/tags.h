@@ -35,6 +35,14 @@ enum Tag : int {
   kTagSelect = 11,  ///< master -> worker: output buffer selections+offsets
 };
 
+// Fault-tolerance tags live in the runtime-internal band (>=
+// mpisim::kDriverTagLimit), not here: the failure-detector notice
+// (mpisim::kTagFaultNotice, base+32) is delivered by the simulator itself,
+// and pario's liveness-sync tag (base+67, see pario/collective.cpp) rides
+// with its other collective-internal tags. Both are registered with the
+// verifier through the internal-tag channel, so the audit still covers
+// them.
+
 namespace detail {
 
 constexpr int kAllTags[] = {kTagWorkReq, kTagAssign,  kTagFetchReq,

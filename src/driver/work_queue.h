@@ -9,46 +9,187 @@
 // The master keeps serving until every worker has been retired with a
 // has_task=0 reply. Which worker gets which task is entirely the
 // Scheduler's decision; this file only moves the bytes.
+//
+// Fault tolerance: when the run carries a fault plan (World::
+// fault_tolerant()), the master also listens for the simulator's
+// failure-detector notices (mpisim::kTagFaultNotice). A dead worker's
+// entire assignment history is returned to the scheduler via requeue() —
+// results live in worker memory until the output phase, so every task the
+// worker ever ran is lost with it — and a worker that would otherwise be
+// retired while a peer still holds work in flight is parked (its reply
+// withheld) so it can absorb requeued tasks if that peer dies.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "driver/metrics.h"
 #include "driver/scheduler.h"
 #include "driver/tags.h"
+#include "mpisim/fault.h"
 #include "mpisim/process.h"
 #include "mpisim/wire.h"
 #include "util/error.h"
 
 namespace pioblast::driver {
 
-/// Master side: answer work requests until all workers are retired.
-/// `payload(enc, task)` appends the driver-specific task body to an
+/// Master side: answer work requests until all workers are retired or
+/// lost. `payload(enc, task)` appends the driver-specific task body to an
 /// affirmative reply (pass {} when the task id alone is the message).
-/// Counts handed-out tasks into `metrics` under kMetricTasksAssigned.
+/// Counts handed-out tasks into `metrics` under kMetricTasksAssigned and,
+/// after losses, kMetricTasksReassigned / kMetricRecoveryUsec.
 inline void serve_work(
     mpisim::Process& p, Scheduler& sched, std::uint32_t ntasks,
     const WorkerTopology& topo,
     const std::function<void(mpisim::Encoder&, std::uint32_t)>& payload,
     RunMetrics* metrics) {
   sched.reset(ntasks, topo);
-  int active = topo.nworkers;
-  while (active > 0) {
-    mpisim::Message req = p.recv(mpisim::kAnySource, kTagWorkReq);
-    const int worker = req.src - 1;  // rank 0 is the master
-    const std::int64_t task = sched.next(worker);
+  const int nworkers = topo.nworkers;
+  const auto nw = static_cast<std::size_t>(nworkers);
+  // Parking changes retirement timing, so it is gated on the static fault
+  // plan: failure-free runs keep the historical retire-on-drain behavior
+  // (and their exact virtual timings) unchanged.
+  const bool fault_tolerant = p.world().fault_tolerant();
+  int active = nworkers;
+
+  std::vector<std::uint8_t> retired(nw, 0);  // got the has_task=0 reply
+  std::vector<std::uint8_t> dead(nw, 0);     // failure detector said so
+  std::vector<std::uint8_t> parked(nw, 0);   // request held, reply pending
+  std::vector<std::uint8_t> busy(nw, 0);     // assignment outstanding
+  // Every task a worker was ever given (not just the in-flight one): its
+  // results stay in worker memory until the output phase, so losing the
+  // worker loses them all.
+  std::vector<std::vector<std::uint32_t>> history(nw);
+  std::vector<std::uint8_t> task_requeued(ntasks, 0);
+  std::size_t requeued_open = 0;  // requeued tasks not yet reassigned
+  sim::Time recovery_start = 0;
+
+  auto assign = [&](int w, std::uint32_t task) {
+    history[static_cast<std::size_t>(w)].push_back(task);
+    busy[static_cast<std::size_t>(w)] = 1;
     mpisim::Encoder reply;
-    if (task == Scheduler::kNoTask) {
-      reply.put<std::uint8_t>(0);
-      --active;
-    } else {
-      reply.put<std::uint8_t>(1).put(static_cast<std::uint32_t>(task));
-      if (payload) payload(reply, static_cast<std::uint32_t>(task));
-      if (metrics) metrics->add(kMetricTasksAssigned, 1);
+    reply.put<std::uint8_t>(1).put(task);
+    if (payload) payload(reply, task);
+    if (metrics) metrics->add(kMetricTasksAssigned, 1);
+    if (task_requeued[task] != 0) {
+      task_requeued[task] = 0;
+      if (--requeued_open == 0 && metrics) {
+        metrics->add(kMetricRecoveryUsec,
+                     static_cast<std::uint64_t>((p.now() - recovery_start) *
+                                                1e6));
+      }
     }
-    p.send(req.src, kTagAssign, reply.bytes());
+    p.send(w + 1, kTagAssign, reply.bytes());
+  };
+
+  auto retire = [&](int w) {
+    retired[static_cast<std::size_t>(w)] = 1;
+    --active;
+    mpisim::Encoder reply;
+    reply.put<std::uint8_t>(0);
+    p.send(w + 1, kTagAssign, reply.bytes());
+  };
+
+  auto any_busy_except = [&](int w) {
+    for (int v = 0; v < nworkers; ++v)
+      if (v != w && busy[static_cast<std::size_t>(v)] != 0 &&
+          dead[static_cast<std::size_t>(v)] == 0)
+        return true;
+    return false;
+  };
+
+  // Answers one ready-to-serve worker: assign, retire, or (fault-tolerant
+  // runs only) park while a peer's in-flight work could still come back.
+  auto serve_one = [&](int w) {
+    const std::int64_t task = sched.next(w);
+    if (task != Scheduler::kNoTask) {
+      assign(w, static_cast<std::uint32_t>(task));
+    } else if (fault_tolerant && any_busy_except(w)) {
+      parked[static_cast<std::size_t>(w)] = 1;
+    } else {
+      retire(w);
+    }
+  };
+
+  // Re-examines parked workers until none can make progress; every state
+  // change (death, assignment, completed request) can unpark someone.
+  auto drain_parked = [&]() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int w = 0; w < nworkers; ++w) {
+        const auto wi = static_cast<std::size_t>(w);
+        if (parked[wi] == 0) continue;
+        const std::int64_t task = sched.next(w);
+        if (task != Scheduler::kNoTask) {
+          parked[wi] = 0;
+          assign(w, static_cast<std::uint32_t>(task));
+          progress = true;
+        } else if (!any_busy_except(w)) {
+          parked[wi] = 0;
+          retire(w);
+          progress = true;
+        }
+      }
+    }
+  };
+
+  auto handle_death = [&](int w) {
+    const auto wi = static_cast<std::size_t>(w);
+    if (dead[wi] != 0) return;
+    dead[wi] = 1;
+    parked[wi] = 0;
+    busy[wi] = 0;
+    if (retired[wi] == 0) --active;
+    auto& lost = history[wi];
+    if (!lost.empty()) {
+      if (requeued_open == 0) recovery_start = p.now();
+      for (const std::uint32_t t : lost) {
+        sched.requeue(t, w);
+        if (task_requeued[t] == 0) {
+          task_requeued[t] = 1;
+          ++requeued_open;
+        }
+      }
+      if (metrics) metrics->add(kMetricTasksReassigned, lost.size());
+      p.trace(mpisim::TraceKind::kRecovery,
+              "worker " + std::to_string(w) + " (rank " +
+                  std::to_string(w + 1) + ") lost; requeued " +
+                  std::to_string(lost.size()) + " task(s)");
+      lost.clear();
+    }
+  };
+
+  static constexpr int kWaitTags[] = {kTagWorkReq, mpisim::kTagFaultNotice};
+  while (active > 0) {
+    mpisim::Message msg = p.recv_any_of(kWaitTags);
+    if (msg.tag == mpisim::kTagFaultNotice) {
+      handle_death(msg.src - 1);
+      drain_parked();
+      continue;
+    }
+    const int worker = msg.src - 1;  // rank 0 is the master
+    PIOBLAST_CHECK_MSG(worker >= 0 && worker < nworkers,
+                       "work request from invalid rank " << msg.src);
+    const auto wi = static_cast<std::size_t>(worker);
+    if (dead[wi] != 0) continue;  // request outran the notice; worker is gone
+    if (retired[wi] != 0) {
+      // A stray request after retirement must not decrement `active`
+      // again: the first retirement already did, and a double decrement
+      // ends the serve loop while another worker still waits for a reply
+      // (observed as a deadlock). Answer with another retirement so the
+      // confused worker still terminates.
+      mpisim::Encoder reply;
+      reply.put<std::uint8_t>(0);
+      p.send(msg.src, kTagAssign, reply.bytes());
+      continue;
+    }
+    busy[wi] = 0;  // its previous assignment (if any) is complete
+    serve_one(worker);
+    drain_parked();
   }
 }
 
@@ -64,13 +205,18 @@ std::optional<T> request_work(
   mpisim::Message reply = p.recv(0, kTagAssign);
   mpisim::Decoder dec(reply.payload);
   if (dec.get<std::uint8_t>() == 0) {
-    PIOBLAST_CHECK(dec.exhausted());
+    PIOBLAST_CHECK_MSG(dec.exhausted(),
+                       "retirement reply on " << p.tag_label(kTagAssign)
+                                              << ": " << dec.remaining()
+                                              << " trailing payload bytes");
     return std::nullopt;
   }
   const auto task_id = dec.get<std::uint32_t>();
   T task = decode(task_id, dec);
-  PIOBLAST_CHECK_MSG(dec.exhausted(), "work reply: " << dec.remaining()
-                                                     << " undecoded bytes");
+  PIOBLAST_CHECK_MSG(dec.exhausted(),
+                     "work reply on " << p.tag_label(kTagAssign) << ": "
+                                      << dec.remaining()
+                                      << " undecoded trailing bytes");
   return task;
 }
 

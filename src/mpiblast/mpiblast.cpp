@@ -40,6 +40,7 @@ class MpiBlastApp final : public driver::MasterWorkerApp {
         db_stats_(db_stats),
         scheduler_(driver::make_scheduler(opts.scheduler)) {
     set_verify(opts.verify);
+    set_faults(opts.faults);
   }
 
  private:
@@ -80,6 +81,9 @@ void MpiBlastApp::master(mpisim::Process& p) {
     std::vector<Candidate> candidates;
     std::uint64_t submitted_bytes = 0;
     for (int w = 1; w < nprocs(); ++w) {
+      // A crashed worker's gather slot is empty (live workers always send
+      // at least the u32 hit count).
+      if (gathered[static_cast<std::size_t>(w)].empty()) continue;
       submitted_bytes += gathered[static_cast<std::size_t>(w)].size();
       mpisim::Decoder dec(gathered[static_cast<std::size_t>(w)]);
       const auto count = dec.get<std::uint32_t>();
@@ -116,19 +120,26 @@ void MpiBlastApp::master(mpisim::Process& p) {
     if (candidates.empty() && !tabular) buffer += blast::format_no_hits();
     const auto query_residues = contexts[q].residues();
 
-    // Per-alignment synchronous fetch of sequence data from the owner.
+    // Per-alignment synchronous fetch of sequence data from the owner. An
+    // owner lost mid-loop costs its remaining alignments (the sequence
+    // data died with it) but not the job: the fetch fails fast with
+    // PeerLostError and the survivors' alignments still go out.
     for (const Candidate& c : candidates) {
-      kFetchReq.send(p, c.owner, driver::FetchRequest{c.local_index});
-      const driver::FetchResponse resp = kFetchResp.recv(p, c.owner);
-      p.compute(p.cost().fetch_handling_seconds(1));
-      const std::string text =
-          tabular ? blast::format_tabular_line(c.hsp, query_list[q].id,
-                                               resp.defline)
-                  : blast::format_alignment(c.hsp, type, query_residues,
-                                            resp.residues, resp.defline,
-                                            resp.subject_len, qset.matrix());
-      p.compute(p.cost().format_seconds(text.size()));
-      buffer += text;
+      try {
+        kFetchReq.send(p, c.owner, driver::FetchRequest{c.local_index});
+        const driver::FetchResponse resp = kFetchResp.recv(p, c.owner);
+        p.compute(p.cost().fetch_handling_seconds(1));
+        const std::string text =
+            tabular ? blast::format_tabular_line(c.hsp, query_list[q].id,
+                                                 resp.defline)
+                    : blast::format_alignment(c.hsp, type, query_residues,
+                                              resp.residues, resp.defline,
+                                              resp.subject_len, qset.matrix());
+        p.compute(p.cost().format_seconds(text.size()));
+        buffer += text;
+      } catch (const mpisim::PeerLostError&) {
+        // Impossible without fault injection; the alignment is dropped.
+      }
     }
     // Release the workers from this query's serving loop.
     for (int w = 1; w < nprocs(); ++w)

@@ -31,6 +31,7 @@
 #include "blast/driver.h"
 #include "blast/job.h"
 #include "driver/scheduler.h"
+#include "mpisim/fault.h"
 #include "mpisim/trace.h"
 #include "pario/env.h"
 #include "seqdb/partition.h"
@@ -55,6 +56,11 @@ struct MpiBlastOptions {
   /// first-come-first-served master loop; static policies pre-plan the
   /// same request/reply protocol deterministically.
   driver::SchedulerKind scheduler = driver::SchedulerKind::kGreedyDynamic;
+  /// Fault injections (crashes, stragglers, drops); inert by default. An
+  /// active plan switches the run into its fault-tolerant paths: the
+  /// master tracks worker liveness and reassigns a lost worker's
+  /// fragments. See mpisim/fault.h and the CLI's --fault flag.
+  mpisim::FaultPlan faults;
 };
 
 /// Runs mpiBLAST with `nprocs` simulated processes (1 master + workers).

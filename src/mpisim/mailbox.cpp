@@ -1,8 +1,10 @@
 #include "mpisim/mailbox.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
+#include "mpisim/fault.h"
 #include "mpisim/verifier.h"
 #include "util/error.h"
 
@@ -17,16 +19,17 @@ constexpr const char* kDefaultPoisonReason =
 void Mailbox::push(Message msg) {
   {
     std::lock_guard lock(mu_);
+    if (sealed_) return;  // the owning rank crashed; its mail vanishes
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
 }
 
-std::size_t Mailbox::find_match(int src, int tag) const {
+std::size_t Mailbox::find_match(int src, std::span<const int> tags) const {
   std::size_t best = kNpos;
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const Message& m = queue_[i];
-    if (m.tag != tag) continue;
+    if (std::find(tags.begin(), tags.end(), m.tag) == tags.end()) continue;
     if (src != kAnySource) {
       // Point-to-point matching preserves per-sender FIFO order: take the
       // first queued message from that sender with this tag.
@@ -50,14 +53,25 @@ Message Mailbox::take_at(std::size_t idx) {
 }
 
 Message Mailbox::pop(int src, int tag) {
+  const int tags[] = {tag};
+  return pop_any(src, tags);
+}
+
+Message Mailbox::pop_any(int src, std::span<const int> tags) {
   for (;;) {
     {
       std::unique_lock lock(mu_);
-      const std::size_t idx = find_match(src, tag);
+      const std::size_t idx = find_match(src, tags);
       if (idx != kNpos) return take_at(idx);
       if (poisoned_) {
         if (verify_poison_) throw VerifyError(poison_reason_);
         throw util::RuntimeError(poison_reason_);
+      }
+      if (src != kAnySource && dead_.count(src) != 0) {
+        throw PeerLostError(src, "mpisim: receive from rank " +
+                                     std::to_string(src) +
+                                     " failed: the rank crashed and the "
+                                     "message can never arrive");
       }
     }
     // No match: this rank is now blocked. The verifier hooks run with the
@@ -67,14 +81,33 @@ Message Mailbox::pop(int src, int tag) {
     // message arriving in the unlocked window is safe: the wait predicate
     // re-checks before sleeping, and the scan consults has_match() before
     // declaring a registered rank truly stuck.
-    if (verifier_ != nullptr) verifier_->on_block(rank_, src, tag);
+    if (verifier_ != nullptr) verifier_->on_block(rank_, src, tags);
     {
       std::unique_lock lock(mu_);
-      cv_.wait(lock,
-               [&] { return poisoned_ || find_match(src, tag) != kNpos; });
+      cv_.wait(lock, [&] {
+        return poisoned_ || find_match(src, tags) != kNpos ||
+               (src != kAnySource && dead_.count(src) != 0);
+      });
     }
     if (verifier_ != nullptr) verifier_->on_unblock(rank_);
   }
+}
+
+void Mailbox::seal() {
+  {
+    std::lock_guard lock(mu_);
+    sealed_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::notify_dead(int rank) {
+  {
+    std::lock_guard lock(mu_);
+    dead_.insert(rank);
+  }
+  cv_.notify_all();
 }
 
 void Mailbox::poison() { poison(kDefaultPoisonReason, false); }
@@ -98,7 +131,8 @@ void Mailbox::bind_verifier(ProtocolVerifier* verifier, int rank) {
 
 std::optional<Message> Mailbox::try_pop(int src, int tag) {
   std::lock_guard lock(mu_);
-  const std::size_t idx = find_match(src, tag);
+  const int tags[] = {tag};
+  const std::size_t idx = find_match(src, tags);
   if (idx == kNpos) return std::nullopt;
   return take_at(idx);
 }
@@ -110,7 +144,13 @@ std::size_t Mailbox::pending() const {
 
 bool Mailbox::has_match(int src, int tag) const {
   std::lock_guard lock(mu_);
-  return find_match(src, tag) != kNpos;
+  const int tags[] = {tag};
+  return find_match(src, tags) != kNpos;
+}
+
+bool Mailbox::has_match_any(int src, std::span<const int> tags) const {
+  std::lock_guard lock(mu_);
+  return find_match(src, tags) != kNpos;
 }
 
 std::vector<Mailbox::PendingInfo> Mailbox::pending_info() const {

@@ -14,6 +14,8 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,12 @@ class Mailbox {
   /// scheduling for dynamic work distribution.
   Message pop(int src, int tag);
 
+  /// Blocks until a message matching `src` and any tag in `tags` is
+  /// available (earliest arrival across all listed tags wins). Used by
+  /// fault-aware server loops that must wake for either work requests or
+  /// failure-detector notices.
+  Message pop_any(int src, std::span<const int> tags);
+
   /// Non-blocking variant; returns nullopt when nothing matches.
   std::optional<Message> try_pop(int src, int tag);
 
@@ -46,6 +54,10 @@ class Mailbox {
   /// matching message arrived between its match check and its blocked
   /// registration.
   bool has_match(int src, int tag) const;
+
+  /// Multi-tag variant of has_match (used for waits registered by
+  /// pop_any).
+  bool has_match_any(int src, std::span<const int> tags) const;
 
   /// Provenance of every still-queued message, for the verifier's
   /// end-of-job leak report.
@@ -70,9 +82,21 @@ class Mailbox {
   /// Must happen before any rank thread starts popping.
   void bind_verifier(ProtocolVerifier* verifier, int rank);
 
+  // ---- fault support ------------------------------------------------------
+
+  /// Marks the owning rank as crashed: discards all queued messages and
+  /// silently drops every future push (a dead rank can neither read its
+  /// mail nor leak it).
+  void seal();
+
+  /// Records that `rank` has crashed and wakes any blocked receiver: a
+  /// pop waiting specifically on a dead rank throws PeerLostError instead
+  /// of blocking forever.
+  void notify_dead(int rank);
+
  private:
   /// Index of best match in queue_, or npos. Caller holds the lock.
-  std::size_t find_match(int src, int tag) const;
+  std::size_t find_match(int src, std::span<const int> tags) const;
 
   /// Removes and returns queue_[idx]. Caller holds the lock.
   Message take_at(std::size_t idx);
@@ -80,6 +104,8 @@ class Mailbox {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::set<int> dead_;  ///< crashed peers (see notify_dead)
+  bool sealed_ = false;
   bool poisoned_ = false;
   bool verify_poison_ = false;
   std::string poison_reason_;

@@ -8,6 +8,16 @@ namespace pioblast::mpisim {
 
 Process::Process(int rank, World& world) : rank_(rank), world_(world) {
   PIOBLAST_CHECK(rank >= 0 && rank < world.size());
+  if (const RankFault* f = world.faults().find(rank)) {
+    crash_at_ = f->crash_at;
+    slow_ = f->slow;
+    drop_sends_ = f->drop_sends;
+  }
+}
+
+void Process::maybe_crash() {
+  if (crash_at_ != 0 && ++comm_events_ == crash_at_)
+    throw RankCrash{rank_, crash_at_, clock_.now()};
 }
 
 void Process::accrue_phase() {
@@ -17,8 +27,9 @@ void Process::accrue_phase() {
 
 void Process::compute(sim::Time seconds) {
   // Heterogeneous machines: a half-speed node takes twice as long for the
-  // same nominal work (sim::ClusterConfig::node_speed).
-  clock_.advance(seconds / cluster().speed_of(rank_));
+  // same nominal work (sim::ClusterConfig::node_speed). An injected
+  // straggler fault multiplies the cost on top of the configured speed.
+  clock_.advance(seconds * slow_ / cluster().speed_of(rank_));
 }
 
 void Process::io_wait(sim::Time seconds) { clock_.advance(seconds); }
@@ -37,6 +48,11 @@ void Process::mark(const std::string& detail) {
     t->record(rank_, clock_.now(), TraceKind::kMark, detail);
 }
 
+void Process::trace(TraceKind kind, std::string detail) {
+  if (Tracer* t = world_.tracer())
+    t->record(rank_, clock_.now(), kind, std::move(detail));
+}
+
 util::PhaseTimer& Process::phases() {
   accrue_phase();
   return phases_;
@@ -46,27 +62,40 @@ void Process::send(int dst, int tag, std::span<const std::uint8_t> data,
                    TypeStamp stamp) {
   PIOBLAST_CHECK_MSG(dst >= 0 && dst < size(), "send to invalid rank " << dst);
   PIOBLAST_CHECK_MSG(dst != rank_, "send to self is not supported");
+  maybe_crash();
   if (ProtocolVerifier* v = world_.verifier()) v->on_send(rank_, dst, tag);
   const auto& net = cluster().network;
   clock_.advance(net.send_cost(data.size()));
+  ++send_seq_;
+  const bool dropped = std::find(drop_sends_.begin(), drop_sends_.end(),
+                                 send_seq_) != drop_sends_.end();
+  bytes_sent_ += data.size();
+  ++messages_sent_;
+  if (Tracer* t = world_.tracer()) {
+    if (dropped) {
+      t->record(rank_, clock_.now(), TraceKind::kFault,
+                "drop send #" + std::to_string(send_seq_) + " dst=" +
+                    std::to_string(dst) + " tag=" + std::to_string(tag) +
+                    " bytes=" + std::to_string(data.size()));
+    } else {
+      t->record(rank_, clock_.now(), TraceKind::kSend,
+                "dst=" + std::to_string(dst) + " tag=" + std::to_string(tag) +
+                    " bytes=" + std::to_string(data.size()));
+    }
+  }
+  if (dropped) return;  // injection cost charged; the wire eats the message
   Message msg;
   msg.src = rank_;
   msg.tag = tag;
   msg.arrival = clock_.now() + net.wire_latency();
   msg.payload.assign(data.begin(), data.end());
   msg.stamp = stamp;
-  bytes_sent_ += data.size();
-  ++messages_sent_;
-  if (Tracer* t = world_.tracer()) {
-    t->record(rank_, clock_.now(), TraceKind::kSend,
-              "dst=" + std::to_string(dst) + " tag=" + std::to_string(tag) +
-                  " bytes=" + std::to_string(data.size()));
-  }
   world_.mailbox(dst).push(std::move(msg));
 }
 
 Message Process::recv(int src, int tag) {
   if (ProtocolVerifier* v = world_.verifier()) v->on_recv_posted(rank_, src, tag);
+  maybe_crash();
   Message msg = world_.mailbox(rank_).pop(src, tag);
   clock_.advance_to(msg.arrival);
   clock_.advance(cluster().network.recv_cost(msg.size()));
@@ -76,6 +105,29 @@ Message Process::recv(int src, int tag) {
                   " bytes=" + std::to_string(msg.size()));
   }
   return msg;
+}
+
+Message Process::recv_any_of(std::span<const int> tags) {
+  if (ProtocolVerifier* v = world_.verifier()) {
+    for (const int tag : tags) v->on_recv_posted(rank_, kAnySource, tag);
+  }
+  maybe_crash();
+  Message msg = world_.mailbox(rank_).pop_any(kAnySource, tags);
+  clock_.advance_to(msg.arrival);
+  clock_.advance(cluster().network.recv_cost(msg.size()));
+  if (Tracer* t = world_.tracer()) {
+    t->record(rank_, clock_.now(), TraceKind::kRecv,
+              "src=" + std::to_string(msg.src) + " tag=" +
+                  std::to_string(msg.tag) + " bytes=" +
+                  std::to_string(msg.size()));
+  }
+  return msg;
+}
+
+std::size_t Process::drain(int tag) {
+  std::size_t n = 0;
+  while (world_.mailbox(rank_).try_pop(kAnySource, tag)) ++n;
+  return n;
 }
 
 void Process::check_stamp(const Message& msg, int tag, TypeStamp expected) {
@@ -90,7 +142,7 @@ std::string Process::tag_label(int tag) const {
 
 std::span<const int> Process::internal_tags() {
   static constexpr int kTags[] = {kTagBarrierUp, kTagBarrierDown, kTagBcast,
-                                  kTagGather, kTagReduce};
+                                  kTagGather,    kTagReduce,      kTagFaultNotice};
   return kTags;
 }
 
@@ -108,9 +160,18 @@ void Process::barrier() {
   enter_collective("barrier", 0);
   // Flat barrier through rank 0: every rank reports in, rank 0 releases.
   // Clocks converge to rank 0's post-collection time plus the release hop,
-  // so a barrier also acts as a virtual-clock synchronization point.
+  // so a barrier also acts as a virtual-clock synchronization point. When
+  // a rank crashed mid-job its report-in never arrives: rank 0 skips it
+  // (PeerLostError) and the release to its sealed mailbox is a no-op, so
+  // the survivors still converge.
   if (rank_ == 0) {
-    for (int r = 1; r < size(); ++r) recv(r, kTagBarrierUp);
+    for (int r = 1; r < size(); ++r) {
+      try {
+        recv(r, kTagBarrierUp);
+      } catch (const PeerLostError&) {
+        // Crashed rank: will never report in; impossible without faults.
+      }
+    }
     for (int r = 1; r < size(); ++r) send(r, kTagBarrierDown, {});
   } else {
     send(0, kTagBarrierUp, {});
@@ -121,11 +182,25 @@ void Process::barrier() {
 void Process::bcast(std::vector<std::uint8_t>& data, int root) {
   PIOBLAST_CHECK(root >= 0 && root < size());
   enter_collective("bcast", root);
+  const int p = size();
+  if (world_.fault_tolerant()) {
+    // Flat root-sends-to-all topology: no rank ever depends on a non-root
+    // peer to forward, so a crashed interior rank cannot strand a
+    // subtree. Gated on the static plan (not the dynamic dead set) so all
+    // ranks agree on the topology. Sends to sealed mailboxes vanish.
+    if (rank_ == root) {
+      for (int r = 0; r < p; ++r)
+        if (r != root) send(r, kTagBcast, data);
+    } else {
+      Message msg = recv(root, kTagBcast);
+      data = std::move(msg.payload);
+    }
+    return;
+  }
   // Binomial tree rooted at `root`, ranks renumbered relative to it.
   // A non-root rank `rel` receives from parent `rel - m` in round
   // log2(m), where m is the highest power of two not exceeding rel, then
   // forwards to `rel + mask` in every later round while that child exists.
-  const int p = size();
   const int rel = (rank_ - root + p) % p;
   int first_send_mask = 1;
   if (rel != 0) {
@@ -153,11 +228,17 @@ std::vector<std::vector<std::uint8_t>> Process::gather(
     out.resize(static_cast<std::size_t>(size()));
     out[static_cast<std::size_t>(rank_)].assign(data.begin(), data.end());
     // Flat collection in rank order: the root's clock serializes the
-    // per-message receive costs, reproducing real master-side incast.
+    // per-message receive costs, reproducing real master-side incast. A
+    // crashed contributor's slot stays empty (callers treat empty as
+    // "no contribution").
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
-      Message m = recv(r, kTagGather);
-      out[static_cast<std::size_t>(r)] = std::move(m.payload);
+      try {
+        Message m = recv(r, kTagGather);
+        out[static_cast<std::size_t>(r)] = std::move(m.payload);
+      } catch (const PeerLostError&) {
+        // Crashed rank contributes nothing; impossible without faults.
+      }
     }
   } else {
     send(root, kTagGather, data);
@@ -167,11 +248,17 @@ std::vector<std::vector<std::uint8_t>> Process::gather(
 
 sim::Time Process::allreduce_max(sim::Time value) {
   enter_collective("allreduce_max", 0);
-  // Reduce to rank 0, then broadcast the result.
+  // Reduce to rank 0, then broadcast the result. Crashed ranks simply
+  // drop out of the maximum.
   if (rank_ == 0) {
     sim::Time best = value;
-    for (int r = 1; r < size(); ++r)
-      best = std::max(best, recv_value<sim::Time>(r, kTagReduce));
+    for (int r = 1; r < size(); ++r) {
+      try {
+        best = std::max(best, recv_value<sim::Time>(r, kTagReduce));
+      } catch (const PeerLostError&) {
+        // Crashed rank: no contribution; impossible without faults.
+      }
+    }
     std::vector<std::uint8_t> buf(sizeof(best));
     std::memcpy(buf.data(), &best, sizeof(best));
     bcast(buf, 0);

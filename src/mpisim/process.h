@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "mpisim/fault.h"
 #include "mpisim/message.h"
 #include "mpisim/world.h"
 #include "sim/time.h"
@@ -67,6 +68,10 @@ class Process {
   /// when tracing is off).
   void mark(const std::string& detail);
 
+  /// Records an event of arbitrary kind in the attached tracer (drivers
+  /// use this for kFault / kRecovery annotations).
+  void trace(TraceKind kind, std::string detail);
+
   /// Flushes pending time into the current phase and returns the buckets.
   util::PhaseTimer& phases();
 
@@ -81,6 +86,17 @@ class Process {
   /// Blocking receive; `src` may be kAnySource. Charges receive cost and
   /// max-merges the clock with the message's virtual arrival time.
   Message recv(int src, int tag);
+
+  /// Blocking receive matching any tag in `tags` (from any source).
+  /// Earliest virtual arrival across the listed tags wins. Fault-aware
+  /// server loops use this to wake for either a work request or a
+  /// failure-detector notice, whichever lands first.
+  Message recv_any_of(std::span<const int> tags);
+
+  /// Drains every already-delivered message with `tag` without blocking
+  /// or charging receive cost. Returns the count. Used by the master to
+  /// absorb late failure-detector notices before the final barrier.
+  std::size_t drain(int tag);
 
   /// Sends a trivially-copyable value.
   template <typename T>
@@ -152,6 +168,14 @@ class Process {
   std::uint64_t messages_sent_ = 0;
   std::uint64_t collectives_entered_ = 0;
 
+  // Fault injections for this rank (from the world's FaultPlan; all
+  // zero/neutral when no fault targets this rank).
+  std::uint64_t crash_at_ = 0;    ///< crash at the Nth comm event (0 = never)
+  std::uint64_t comm_events_ = 0; ///< send/recv calls so far
+  double slow_ = 1.0;             ///< straggler compute multiplier
+  std::vector<std::uint64_t> drop_sends_;  ///< 1-based send ordinals to drop
+  std::uint64_t send_seq_ = 0;             ///< sends attempted so far
+
   /// Internal tag space for collectives (drivers must use tags below this).
   static constexpr int kInternalTagBase = kDriverTagLimit;
   static constexpr int kTagBarrierUp = kInternalTagBase + 0;
@@ -161,6 +185,10 @@ class Process {
   static constexpr int kTagReduce = kInternalTagBase + 4;
 
   void accrue_phase();
+
+  /// Counts one communication event and throws RankCrash when this rank's
+  /// scheduled crash point is reached. Called on entry to send and recv.
+  void maybe_crash();
 
   /// Records the collective's trace fingerprint and runs the verifier's
   /// order check. Called on entry by every collective, on every rank.

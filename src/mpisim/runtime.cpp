@@ -34,6 +34,7 @@ RunReport run(int nranks, const sim::ClusterConfig& cluster,
   PIOBLAST_CHECK(nranks >= 1);
   World world(nranks, cluster);
   world.set_tracer(opts.tracer);
+  world.set_fault_plan(opts.faults);
   if (opts.verify.enabled) {
     auto internal = Process::internal_tags();
     world.install_verifier(std::make_unique<ProtocolVerifier>(
@@ -48,8 +49,15 @@ RunReport run(int nranks, const sim::ClusterConfig& cluster,
 
   auto body = [&](int rank) {
     Process proc(rank, world);
+    bool crashed = false;
     try {
       rank_fn(proc);
+    } catch (const RankCrash& c) {
+      // An injected crash is a simulated event, not a job error: retire
+      // the rank (seals its mailbox, notifies rank 0 and the verifier)
+      // and let the survivors run on.
+      crashed = true;
+      world.crash_rank(rank, c.when);
     } catch (...) {
       {
         std::lock_guard lock(error_mu);
@@ -59,14 +67,18 @@ RunReport run(int nranks, const sim::ClusterConfig& cluster,
     }
     // The rank is no longer live; the verifier may now find the remaining
     // ranks deadlocked (it poisons them with the report — this path must
-    // not throw, as it runs outside the try block above).
-    if (ProtocolVerifier* v = world.verifier()) v->on_rank_done(rank);
+    // not throw, as it runs outside the try block above). A crashed rank
+    // was already retired by crash_rank.
+    if (!crashed) {
+      if (ProtocolVerifier* v = world.verifier()) v->on_rank_done(rank);
+    }
     auto& rr = report.ranks[static_cast<std::size_t>(rank)];
     rr.rank = rank;
     rr.phases = proc.phases();  // flushes the open phase
     rr.final_clock = proc.now();
     rr.bytes_sent = proc.bytes_sent();
     rr.messages_sent = proc.messages_sent();
+    rr.crashed = crashed;
   };
 
   std::vector<std::thread> threads;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "mpisim/fault.h"
 #include "mpisim/process.h"
 #include "mpisim/verify.h"
 #include "sim/cluster.h"
@@ -26,6 +27,9 @@ struct RunOptions {
   /// and therefore every test — doubles as a protocol audit (deadlock,
   /// collective order, tag registry, typed payloads, message leaks).
   VerifyOptions verify{};
+  /// Fault injections (crashes, stragglers, message drops); empty and
+  /// inert by default. See fault.h.
+  FaultPlan faults{};
 };
 
 /// Per-rank results collected after the rank function returns.
@@ -35,6 +39,9 @@ struct RankReport {
   util::PhaseTimer phases;
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_sent = 0;
+  /// The rank was killed by an injected crash fault; its clock and phases
+  /// reflect the moment of death.
+  bool crashed = false;
 };
 
 /// Whole-job results.

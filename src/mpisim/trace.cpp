@@ -24,6 +24,10 @@ const char* to_string(TraceKind kind) {
       return "COLL";
     case TraceKind::kVerify:
       return "VRFY";
+    case TraceKind::kFault:
+      return "FAULT";
+    case TraceKind::kRecovery:
+      return "RECOV";
   }
   return "?";
 }

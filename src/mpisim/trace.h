@@ -31,6 +31,8 @@ enum class TraceKind : std::uint8_t {
   kMark,     ///< driver-defined annotation
   kCollective,  ///< collective entry (detail: "<op> root=<r> seq=<n>")
   kVerify,      ///< protocol-verifier report (failed check, full text)
+  kFault,       ///< fault injection fired (crash, message drop)
+  kRecovery,    ///< recovery action (requeue after loss, degraded I/O)
 };
 
 const char* to_string(TraceKind kind);

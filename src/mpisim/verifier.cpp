@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "mpisim/fault.h"
+
 namespace pioblast::mpisim {
 
 ProtocolVerifier::ProtocolVerifier(VerifyOptions opts, Tracer* tracer,
@@ -19,6 +21,7 @@ void ProtocolVerifier::attach(const std::vector<Mailbox*>& mailboxes) {
   live_ranks_ = static_cast<int>(mailboxes.size());
   waits_.assign(mailboxes.size(), {});
   done_.assign(mailboxes.size(), false);
+  crashed_.assign(mailboxes.size(), false);
   collective_seq_.assign(mailboxes.size(), 0);
 }
 
@@ -120,10 +123,16 @@ std::string ProtocolVerifier::deadlock_report_locked() const {
   }
   if (blocked == 0) return "";
   // Every live rank is registered blocked; exonerate any rank whose wait
-  // became deliverable between its match check and its registration.
+  // became deliverable between its match check and its registration, and
+  // any rank waiting specifically on a crashed peer (it will wake with
+  // PeerLostError, not hang).
   for (std::size_t r = 0; r < waits_.size(); ++r) {
     if (done_[r]) continue;
-    if (mailboxes_[r]->has_match(waits_[r].src, waits_[r].tag)) return "";
+    const Wait& w = waits_[r];
+    if (w.src >= 0 && w.src < static_cast<int>(crashed_.size()) &&
+        crashed_[static_cast<std::size_t>(w.src)])
+      return "";
+    if (mailboxes_[r]->has_match_any(w.src, w.tags)) return "";
   }
   std::ostringstream os;
   os << "protocol verifier: deadlock: all " << blocked
@@ -134,7 +143,10 @@ std::string ProtocolVerifier::deadlock_report_locked() const {
        << (waits_[r].src == kAnySource
                ? std::string("any source")
                : "src=" + std::to_string(waits_[r].src))
-       << " tag=" << tag_label(waits_[r].tag) << "\n";
+       << " tag=";
+    for (std::size_t t = 0; t < waits_[r].tags.size(); ++t)
+      os << (t != 0 ? "/" : "") << tag_label(waits_[r].tags[t]);
+    os << "\n";
   }
   os << render_cycle_locked();
   return os.str();
@@ -152,12 +164,17 @@ void ProtocolVerifier::fail_locked(const std::string& report) {
 }
 
 void ProtocolVerifier::on_block(int rank, int src, int tag) {
+  const int tags[] = {tag};
+  on_block(rank, src, std::span<const int>(tags));
+}
+
+void ProtocolVerifier::on_block(int rank, int src, std::span<const int> tags) {
   std::lock_guard lock(mu_);
   if (disabled_) return;
   auto& w = waits_[static_cast<std::size_t>(rank)];
   w.blocked = true;
   w.src = src;
-  w.tag = tag;
+  w.tags.assign(tags.begin(), tags.end());
   const std::string report = deadlock_report_locked();
   if (!report.empty()) fail_locked(report);
 }
@@ -176,6 +193,20 @@ void ProtocolVerifier::on_rank_done(int rank) {
   // A finished rank's thread is outside the runtime's try block, so this
   // path must not throw; poisoning wakes the stuck ranks with the report.
   if (!report.empty()) flag_locked(report);
+}
+
+void ProtocolVerifier::on_rank_crashed(int rank) {
+  std::lock_guard lock(mu_);
+  if (disabled_) return;
+  if (crashed_[static_cast<std::size_t>(rank)]) return;
+  crashed_[static_cast<std::size_t>(rank)] = true;
+  done_[static_cast<std::size_t>(rank)] = true;
+  --live_ranks_;
+  // World::crash_rank queued the failure-detector notice before calling
+  // us, so a master blocked on any-source already has a deliverable
+  // message and cannot be falsely declared deadlocked here.
+  const std::string report = deadlock_report_locked();
+  if (!report.empty()) flag_locked(report);  // crashing thread: never throw
 }
 
 void ProtocolVerifier::on_abort() {
@@ -222,15 +253,24 @@ void ProtocolVerifier::check_leaks() {
   std::size_t leaked = 0;
   std::ostringstream os;
   for (std::size_t r = 0; r < mailboxes_.size(); ++r) {
+    // A crashed rank's mailbox is sealed and its mail intentionally
+    // vanishes; likewise an undrained failure-detector notice is runtime
+    // bookkeeping, not a lost driver message.
+    if (crashed_[r]) continue;
     const auto infos = mailboxes_[r]->pending_info();
-    if (infos.empty()) continue;
-    os << "  rank " << r << " mailbox holds " << infos.size()
-       << (infos.size() == 1 ? " message:" : " messages:") << "\n";
+    std::size_t shown = 0;
+    std::ostringstream rank_os;
     for (const auto& info : infos) {
-      os << "    from rank " << info.src << " tag=" << tag_label(info.tag)
-         << " (" << info.bytes << " bytes)\n";
-      ++leaked;
+      if (info.tag == kTagFaultNotice) continue;
+      rank_os << "    from rank " << info.src << " tag=" << tag_label(info.tag)
+              << " (" << info.bytes << " bytes)\n";
+      ++shown;
     }
+    if (shown == 0) continue;
+    os << "  rank " << r << " mailbox holds " << shown
+       << (shown == 1 ? " message:" : " messages:") << "\n"
+       << rank_os.str();
+    leaked += shown;
   }
   if (leaked == 0) return;
   std::ostringstream head;

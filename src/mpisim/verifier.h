@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,6 +63,12 @@ class ProtocolVerifier {
   /// flag a deadlock among the remaining ranks (never throws: poisons).
   void on_rank_done(int rank);
 
+  /// A rank crashed under fault injection: it is retired, not deadlocked.
+  /// Ranks later found blocked waiting specifically on a crashed rank are
+  /// exonerated by the deadlock scan — they will wake with PeerLostError,
+  /// not hang. Never throws (called from the crashing rank's unwind).
+  void on_rank_crashed(int rank);
+
   /// The job is being aborted for an unrelated error: disable all checks
   /// so the unwinding ranks cannot trigger cascading reports.
   void on_abort();
@@ -80,6 +87,10 @@ class ProtocolVerifier {
   /// deadlock scan. Throws VerifyError when this block completes a
   /// deadlock. Called without the mailbox lock held.
   void on_block(int rank, int src, int tag);
+
+  /// Multi-tag variant for waits registered by Mailbox::pop_any: the rank
+  /// is blocked until a message with any of `tags` arrives from `src`.
+  void on_block(int rank, int src, std::span<const int> tags);
 
   /// Clears the blocked registration after the wait returns.
   void on_unblock(int rank);
@@ -110,7 +121,7 @@ class ProtocolVerifier {
   struct Wait {
     bool blocked = false;
     int src = 0;
-    int tag = 0;
+    std::vector<int> tags;  ///< acceptable tags (usually one)
   };
   struct CollectiveRecord {
     std::string op;
@@ -146,6 +157,7 @@ class ProtocolVerifier {
   std::vector<Mailbox*> mailboxes_;
   std::vector<Wait> waits_;
   std::vector<bool> done_;
+  std::vector<bool> crashed_;
   std::vector<std::uint64_t> collective_seq_;
   std::vector<CollectiveRecord> collective_log_;
 };

@@ -8,9 +8,11 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "mpisim/fault.h"
 #include "mpisim/mailbox.h"
 #include "mpisim/trace.h"
 #include "mpisim/verifier.h"
@@ -22,7 +24,10 @@ namespace pioblast::mpisim {
 class World {
  public:
   World(int size, sim::ClusterConfig cluster)
-      : size_(size), cluster_(std::move(cluster)) {
+      : size_(size),
+        cluster_(std::move(cluster)),
+        dead_(std::make_unique<std::atomic<bool>[]>(
+            static_cast<std::size_t>(size))) {
     PIOBLAST_CHECK(size >= 1);
     mailboxes_.reserve(static_cast<std::size_t>(size));
     for (int i = 0; i < size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -71,6 +76,63 @@ class World {
   /// The installed verifier, or null when verification is off.
   ProtocolVerifier* verifier() const { return verifier_.get(); }
 
+  // ---- faults -------------------------------------------------------------
+
+  /// Arms the fault plan (validated against the job size). Must be called
+  /// before rank threads start; Process reads its injections from here.
+  void set_fault_plan(FaultPlan plan) {
+    plan.validate(size_);
+    faults_ = std::move(plan);
+  }
+  const FaultPlan& faults() const { return faults_; }
+
+  /// True when the run must tolerate failures: Process collectives use
+  /// flat survivor-aware topologies and pario collectives synchronize
+  /// liveness before picking an exchange plan.
+  bool fault_tolerant() const { return faults_.active(); }
+
+  bool is_dead(int rank) const {
+    return dead_[static_cast<std::size_t>(rank)].load(std::memory_order_acquire);
+  }
+
+  int dead_count() const {
+    int n = 0;
+    for (int r = 0; r < size_; ++r)
+      if (is_dead(r)) ++n;
+    return n;
+  }
+
+  /// Retires a crashed rank: seals its mailbox, pushes the
+  /// failure-detector notice (tag kTagFaultNotice, arrival = `when` +
+  /// detection delay) to rank 0, wakes every receiver blocked on the dead
+  /// rank, and tells the verifier the rank is retired — not deadlocked.
+  /// Called by the runtime from the crashing rank's own thread; safe to
+  /// call at most once per rank (later calls are no-ops).
+  void crash_rank(int rank, sim::Time when) {
+    bool expected = false;
+    if (!dead_[static_cast<std::size_t>(rank)].compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel))
+      return;
+    mailbox(rank).seal();
+    // The notice must be queued before the verifier learns of the crash:
+    // its deadlock scan then sees the master's any-source wait as
+    // deliverable instead of declaring the surviving ranks stuck.
+    if (rank != 0) {
+      Message notice;
+      notice.src = rank;
+      notice.tag = kTagFaultNotice;
+      notice.arrival = when + faults_.detection_delay;
+      mailbox(0).push(std::move(notice));
+    }
+    for (int r = 0; r < size_; ++r)
+      if (r != rank) mailboxes_[static_cast<std::size_t>(r)]->notify_dead(rank);
+    if (tracer_ != nullptr) {
+      tracer_->record(rank, when, TraceKind::kFault,
+                      "rank " + std::to_string(rank) + " crashed");
+    }
+    if (verifier_) verifier_->on_rank_crashed(rank);
+  }
+
  private:
   int size_;
   sim::ClusterConfig cluster_;
@@ -78,6 +140,8 @@ class World {
   std::atomic<bool> aborted_{false};
   Tracer* tracer_ = nullptr;
   std::unique_ptr<ProtocolVerifier> verifier_;
+  FaultPlan faults_;
+  std::unique_ptr<std::atomic<bool>[]> dead_;
 };
 
 }  // namespace pioblast::mpisim

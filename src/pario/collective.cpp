@@ -16,6 +16,39 @@ namespace {
 constexpr int kTagShuffle = (1 << 24) + 64;
 constexpr int kTagReadReq = (1 << 24) + 65;
 constexpr int kTagReadResp = (1 << 24) + 66;
+constexpr int kTagFaultSync = (1 << 24) + 67;  ///< liveness bitmap, root->all
+
+/// Agrees on a liveness snapshot before a collective: rank 0 (which the
+/// fault model guarantees survives) reads the simulator's dead set and
+/// distributes it, so every participant makes the same plan-or-fallback
+/// decision even if a rank dies mid-collective later. Only called on
+/// fault-tolerant runs.
+std::vector<std::uint8_t> sync_liveness(mpisim::Process& p) {
+  const auto n = static_cast<std::size_t>(p.size());
+  std::vector<std::uint8_t> dead(n, 0);
+  if (p.rank() == 0) {
+    for (int r = 0; r < p.size(); ++r)
+      dead[static_cast<std::size_t>(r)] = p.world().is_dead(r) ? 1 : 0;
+    for (int r = 1; r < p.size(); ++r)
+      p.send(r, kTagFaultSync, dead);  // sealed mailboxes absorb the dead
+  } else {
+    dead = p.recv(0, kTagFaultSync).payload;
+  }
+  return dead;
+}
+
+bool any_dead(const std::vector<std::uint8_t>& dead) {
+  for (const std::uint8_t d : dead)
+    if (d != 0) return true;
+  return false;
+}
+
+int live_count(const std::vector<std::uint8_t>& dead) {
+  int n = 0;
+  for (const std::uint8_t d : dead)
+    if (d == 0) ++n;
+  return n;
+}
 
 /// Computes aggregator file-domain boundaries [b0..bA] over the union of
 /// all ranks' regions. Executed via gather at rank 0 + broadcast so every
@@ -38,6 +71,8 @@ std::vector<std::uint64_t> agree_domains(mpisim::Process& p, const FileView& vie
     std::uint64_t glo = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t ghi = 0;
     for (const auto& contrib : gathered) {
+      // A rank crashed mid-collective leaves an empty gather slot.
+      if (contrib.empty()) continue;
       mpisim::Decoder dec(contrib);
       glo = std::min(glo, dec.get<std::uint64_t>());
       ghi = std::max(ghi, dec.get<std::uint64_t>());
@@ -108,6 +143,30 @@ std::uint64_t collective_write(mpisim::Process& p, VirtualFS& fs,
   const int nprocs = p.size();
   const int naggs = std::max(1, std::min(cfg.aggregators, nprocs));
 
+  // Fault-tolerant runs agree on a liveness snapshot first; once any
+  // participant is lost the two-phase exchange (whose round structure
+  // assumes full participation) is abandoned and every survivor falls
+  // back to independent writes of its own regions. Slower — each rank
+  // pays seek-heavy non-aggregated I/O — but correct and dead-simple.
+  if (p.world().fault_tolerant()) {
+    const auto dead = sync_liveness(p);
+    if (any_dead(dead)) {
+      std::uint64_t buf_pos = 0;
+      for (const Region& r : view.regions()) {
+        fs.pwrite(path, r.offset, data.subspan(buf_pos, r.length));
+        buf_pos += r.length;
+      }
+      p.io_wait(fs.model().write_seconds(view.extent(), live_count(dead)));
+      if (p.rank() == 0) {
+        p.trace(mpisim::TraceKind::kRecovery,
+                "collective write degraded to independent writes (" +
+                    std::to_string(live_count(dead)) + " survivors)");
+      }
+      p.barrier();
+      return data.size();
+    }
+  }
+
   const auto bounds = agree_domains(p, view, naggs);
 
   // ---- phase 1: split regions across aggregator file domains -------------
@@ -153,7 +212,12 @@ std::uint64_t collective_write(mpisim::Process& p, VirtualFS& fs,
       if (r == p.rank()) {
         batch = std::move(own_batch);
       } else {
-        batch = p.recv(r, kTagShuffle).payload;
+        try {
+          batch = p.recv(r, kTagShuffle).payload;
+        } catch (const mpisim::PeerLostError&) {
+          // Rank died between the liveness sync and its shuffle send; its
+          // contribution is lost but the survivors' data still lands.
+        }
       }
       mpisim::Decoder dec(batch);
       while (!dec.exhausted()) {
@@ -178,6 +242,30 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
                                           const CollectiveConfig& cfg) {
   const int nprocs = p.size();
   const int naggs = std::max(1, std::min(cfg.aggregators, nprocs));
+
+  // Same degraded path as collective_write: with a participant lost, the
+  // survivors read their own regions independently.
+  if (p.world().fault_tolerant()) {
+    const auto dead = sync_liveness(p);
+    if (any_dead(dead)) {
+      std::vector<std::uint8_t> out(view.extent());
+      std::uint64_t buf_pos = 0;
+      for (const Region& r : view.regions()) {
+        const auto bytes = fs.pread(path, r.offset, r.length);
+        std::memcpy(out.data() + buf_pos, bytes.data(), bytes.size());
+        buf_pos += r.length;
+      }
+      p.io_wait(fs.model().read_seconds(view.extent(), live_count(dead)));
+      if (p.rank() == 0) {
+        p.trace(mpisim::TraceKind::kRecovery,
+                "collective read degraded to independent reads (" +
+                    std::to_string(live_count(dead)) + " survivors)");
+      }
+      p.barrier();
+      return out;
+    }
+  }
+
   const auto bounds = agree_domains(p, view, naggs);
 
   // ---- build per-aggregator request lists --------------------------------
@@ -229,14 +317,19 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
       if (r == p.rank()) {
         reqs = std::move(local_requests[static_cast<std::size_t>(r)]);
       } else {
-        const mpisim::Message msg = p.recv(r, kTagReadReq);
-        mpisim::Decoder dec(msg.payload);
-        while (!dec.exhausted()) {
-          Want w;
-          w.file_off = dec.get<std::uint64_t>();
-          w.buf_pos = dec.get<std::uint64_t>();
-          w.len = dec.get<std::uint64_t>();
-          reqs.push_back(w);
+        try {
+          const mpisim::Message msg = p.recv(r, kTagReadReq);
+          mpisim::Decoder dec(msg.payload);
+          while (!dec.exhausted()) {
+            Want w;
+            w.file_off = dec.get<std::uint64_t>();
+            w.buf_pos = dec.get<std::uint64_t>();
+            w.len = dec.get<std::uint64_t>();
+            reqs.push_back(w);
+          }
+        } catch (const mpisim::PeerLostError&) {
+          // Requester died mid-collective: serve nobody's nothing; the
+          // (empty) response below lands in its sealed mailbox.
         }
       }
       mpisim::Encoder resp;
@@ -259,7 +352,15 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
   // ---- requesters assemble their buffers ----------------------------------
   for (int d = 0; d < naggs; ++d) {
     if (d == p.rank()) continue;
-    const mpisim::Message msg = p.recv(d, kTagReadResp);
+    mpisim::Message msg;
+    try {
+      msg = p.recv(d, kTagReadResp);
+    } catch (const mpisim::PeerLostError&) {
+      // Aggregator died mid-collective: its domain's bytes are
+      // unrecoverable this round; the affected buffer slice stays
+      // zero-filled.
+      continue;
+    }
     mpisim::Decoder dec(msg.payload);
     if (wants[static_cast<std::size_t>(d)].empty()) {
       // The (empty) response still had to be drained to keep the exchange
@@ -279,7 +380,8 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
 }
 
 std::span<const int> collective_internal_tags() {
-  static constexpr int kTags[] = {kTagShuffle, kTagReadReq, kTagReadResp};
+  static constexpr int kTags[] = {kTagShuffle, kTagReadReq, kTagReadResp,
+                                  kTagFaultSync};
   return kTags;
 }
 

@@ -41,6 +41,7 @@ class PioBlastApp final : public driver::MasterWorkerApp {
         scheduler_(driver::make_scheduler(kind)),
         dynamic_(kind == driver::SchedulerKind::kGreedyDynamic) {
     set_verify(opts.verify);
+    set_faults(opts.faults);
   }
 
  private:
@@ -293,6 +294,8 @@ void PioBlastApp::output_stage(mpisim::Process& p, driver::SearchStage& stage,
         if (p.is_root()) {
           std::int32_t best = std::numeric_limits<std::int32_t>::min();
           for (int w = 1; w < nprocs(); ++w) {
+            // A crashed worker's gather slot is empty: no contribution.
+            if (gathered[static_cast<std::size_t>(w)].empty()) continue;
             mpisim::Decoder dec(gathered[static_cast<std::size_t>(w)]);
             best = std::max(best, dec.get<std::int32_t>());
           }
@@ -338,6 +341,9 @@ void PioBlastApp::output_stage(mpisim::Process& p, driver::SearchStage& stage,
         std::vector<blast::CandidateMeta> candidates;
         std::uint64_t submitted_bytes = 0;
         for (int w = 1; w < nprocs(); ++w) {
+          // A crashed worker's gather slot is empty (live workers always
+          // send at least the u32 submission count).
+          if (gathered[static_cast<std::size_t>(w)].empty()) continue;
           submitted_bytes += gathered[static_cast<std::size_t>(w)].size();
           mpisim::Decoder dec(gathered[static_cast<std::size_t>(w)]);
           const auto count = dec.get<std::uint32_t>();

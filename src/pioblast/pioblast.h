@@ -39,6 +39,7 @@
 #include "blast/driver.h"
 #include "blast/job.h"
 #include "driver/scheduler.h"
+#include "mpisim/fault.h"
 #include "mpisim/trace.h"
 #include "pario/collective.h"
 #include "pario/env.h"
@@ -74,6 +75,12 @@ struct PioBlastOptions {
   /// 0 = a single flush at the end (the default, maximum aggregation).
   std::uint32_t query_batch = 0;
   pario::CollectiveConfig collective{};///< output aggregator count
+  /// Fault injections (crashes, stragglers, drops); inert by default. An
+  /// active plan switches the run into its fault-tolerant paths: with the
+  /// greedy scheduler a lost worker's ranges are reassigned; collective
+  /// I/O falls back to independent transfers for the survivors. See
+  /// mpisim/fault.h and the CLI's --fault flag.
+  mpisim::FaultPlan faults;
 };
 
 /// Runs pioBLAST with `nprocs` simulated processes (1 master + workers)

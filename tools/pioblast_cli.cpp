@@ -81,6 +81,10 @@ int main(int argc, char** argv) {
       .add("verify", "on",
            "protocol verifier (deadlock, collective order, tag audit, typed "
            "payloads, message leaks): on | off")
+      .add("fault", "",
+           "fault injections, ';'-separated: \"rank=K,crash_at=N\" | "
+           "\"rank=K,slow=X\" | \"rank=K,drop_send=N\"; plan-wide: "
+           "\"detect=<seconds>\", \"arm\"")
       .add_flag("early-score-broadcast", "enable the §5 pruning extension")
       .add_flag("dynamic-scheduling", "greedy range scheduling (§5)")
       .add_flag("metrics", "print one machine-readable METRICS line per run")
@@ -141,6 +145,12 @@ int main(int argc, char** argv) {
 
   const std::string driver = args.get("driver");
   const bool verify = args.get("verify") != "off";
+  mpisim::FaultPlan faults;
+  if (!args.get("fault").empty()) {
+    faults = mpisim::FaultPlan::parse(args.get("fault"));
+    faults.validate(nprocs);
+    std::printf("fault plan: %s\n\n", faults.describe().c_str());
+  }
   mpisim::Tracer tracer;
   mpisim::Tracer* trace_ptr = args.get_flag("trace") ? &tracer : nullptr;
 
@@ -158,6 +168,7 @@ int main(int argc, char** argv) {
     opts.fragment_bases = parts.fragment_bases;
     opts.fragment_ranges = parts.ranges;
     opts.global_index = parts.global_index;
+    opts.faults = faults;
     if (!args.get("scheduler").empty())
       opts.scheduler = driver::parse_scheduler(args.get("scheduler"));
     const auto result = mpiblast::run_mpiblast(cluster, nprocs, storage, opts);
@@ -175,6 +186,7 @@ int main(int argc, char** argv) {
     opts.job.output_path = "out.pioblast.txt";
     opts.early_score_broadcast = args.get_flag("early-score-broadcast");
     opts.dynamic_scheduling = args.get_flag("dynamic-scheduling");
+    opts.faults = faults;
     if (!args.get("scheduler").empty())
       opts.scheduler = driver::parse_scheduler(args.get("scheduler"));
     const auto result = pio::run_pioblast(cluster, nprocs, storage, opts);
