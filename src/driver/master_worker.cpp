@@ -59,6 +59,8 @@ blast::DriverResult MasterWorkerApp::run() {
   opts.tracer = tracer_;
   opts.verify.enabled = verify_;
   opts.faults = faults_;
+  opts.schedule = schedule_;
+  opts.race = race_;
   // Seed the tag audit with the driver registry and the pario two-phase
   // exchange's internal band; any other tag on the wire is a protocol bug.
   auto registered = registered_tags();

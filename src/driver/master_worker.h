@@ -56,6 +56,16 @@ class MasterWorkerApp {
   /// degraded collective I/O). See mpisim/fault.h.
   void set_faults(mpisim::FaultPlan faults) { faults_ = std::move(faults); }
 
+  /// Attaches mpicheck hooks (either may be null; neither is owned and
+  /// both must outlive run()): a cooperative scheduler serializing the
+  /// rank threads deterministically, and a happens-before race detector
+  /// observing message edges and annotated shared-state accesses. See
+  /// mpisim/hooks.h and src/mpicheck.
+  void set_check(mpisim::ScheduleHook* schedule, mpisim::RaceHook* race) {
+    schedule_ = schedule;
+    race_ = race;
+  }
+
  protected:
   /// Driver protocol. The default dispatches to master()/worker();
   /// override body() directly for interleaved protocols.
@@ -86,6 +96,8 @@ class MasterWorkerApp {
   mpisim::Tracer* tracer_;
   bool verify_ = true;
   mpisim::FaultPlan faults_;
+  mpisim::ScheduleHook* schedule_ = nullptr;
+  mpisim::RaceHook* race_ = nullptr;
   WorkerTopology topology_;
   RunMetrics metrics_;
 };

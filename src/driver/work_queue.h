@@ -68,6 +68,10 @@ inline void serve_work(
   sim::Time recovery_start = 0;
 
   auto assign = [&](int w, std::uint32_t task) {
+    // Scheduler state is master-private; the annotation documents that
+    // claim to the race detector (any other rank touching it would be
+    // flagged as an unordered conflicting access).
+    p.annotate_write(&sched, "serve_work:assign");
     history[static_cast<std::size_t>(w)].push_back(task);
     busy[static_cast<std::size_t>(w)] = 1;
     mpisim::Encoder reply;
@@ -146,6 +150,7 @@ inline void serve_work(
     if (retired[wi] == 0) --active;
     auto& lost = history[wi];
     if (!lost.empty()) {
+      p.annotate_write(&sched, "serve_work:requeue");
       if (requeued_open == 0) recovery_start = p.now();
       for (const std::uint32_t t : lost) {
         sched.requeue(t, w);

@@ -41,6 +41,7 @@ class MpiBlastApp final : public driver::MasterWorkerApp {
         scheduler_(driver::make_scheduler(opts.scheduler)) {
     set_verify(opts.verify);
     set_faults(opts.faults);
+    set_check(opts.schedule, opts.race);
   }
 
  private:

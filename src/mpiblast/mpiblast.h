@@ -32,6 +32,7 @@
 #include "blast/job.h"
 #include "driver/scheduler.h"
 #include "mpisim/fault.h"
+#include "mpisim/hooks.h"
 #include "mpisim/trace.h"
 #include "pario/env.h"
 #include "seqdb/partition.h"
@@ -61,6 +62,11 @@ struct MpiBlastOptions {
   /// master tracks worker liveness and reassigns a lost worker's
   /// fragments. See mpisim/fault.h and the CLI's --fault flag.
   mpisim::FaultPlan faults;
+  /// mpicheck hooks (mpisim/hooks.h; either may be null, neither owned):
+  /// a deterministic cooperative scheduler and a happens-before race
+  /// detector. Set by the CLI's --check/--schedule modes and by tests.
+  mpisim::ScheduleHook* schedule = nullptr;
+  mpisim::RaceHook* race = nullptr;
 };
 
 /// Runs mpiBLAST with `nprocs` simulated processes (1 master + workers).

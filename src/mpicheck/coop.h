@@ -1,0 +1,118 @@
+// Deterministic cooperative scheduler for mpisim.
+//
+// Installed via RunOptions::schedule, it serializes the rank threads: one
+// run token, handed from rank to rank at yield points (send, recv attempt,
+// collective entry, injected fault) and at blocking receives. The job's
+// behaviour then depends only on the Chooser's picks, so a run can be
+// reproduced exactly from its decision trace — the foundation for the
+// explorer (explore.h) and for `--schedule` replay.
+//
+// Decisions are recorded only at points where two or more ranks were
+// runnable; a single runnable rank is forced and recording it would bloat
+// traces without adding information.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mpicheck/schedule.h"
+#include "mpisim/hooks.h"
+
+namespace pioblast::mpicheck {
+
+/// Full record of one multi-choice scheduling point: who was runnable,
+/// what each runnable rank was about to do, who ran. The explorer's
+/// DPOR-lite mode consumes `ops` to prune provably-equivalent siblings.
+struct DecisionRecord {
+  std::vector<int> enabled;                 ///< runnable ranks, ascending
+  std::vector<mpisim::YieldPoint> ops;      ///< pending op per enabled rank
+  int chosen = -1;
+};
+
+class CoopScheduler final : public mpisim::ScheduleHook {
+ public:
+  /// Picks the next rank to run out of `enabled` (must return a member;
+  /// anything else falls back to the lowest). `decision_index` counts
+  /// multi-choice points so far; `ops` is parallel to `enabled`.
+  using Chooser = std::function<int(std::size_t decision_index,
+                                    const std::vector<int>& enabled,
+                                    const std::vector<mpisim::YieldPoint>& ops)>;
+
+  /// A null chooser always picks the lowest runnable rank.
+  explicit CoopScheduler(Chooser chooser = {});
+
+  // ScheduleHook ------------------------------------------------------------
+  void start(int nranks, StuckHandler on_stuck) override;
+  void rank_begin(int rank) override;
+  void yield(const mpisim::YieldPoint& op) override;
+  void block(int rank) override;
+  void wake(int rank) override;
+  void finish(int rank) override;
+
+  // Run results (read after the job joined) ---------------------------------
+
+  /// The multi-choice decisions of the completed run.
+  const std::vector<DecisionRecord>& records() const { return records_; }
+
+  /// records() reduced to a replayable Schedule.
+  Schedule schedule() const;
+
+  /// True when the scheduler found no runnable rank while some were still
+  /// blocked and fired the stuck handler (verifier-off deadlock path).
+  bool went_stuck() const { return stuck_fired_; }
+
+  // Canned choosers ---------------------------------------------------------
+
+  /// Lowest runnable rank, always (the canonical baseline schedule).
+  static Chooser first_enabled();
+
+  /// Seeded uniform pick — deterministic for a given seed.
+  static Chooser random(std::uint64_t seed);
+
+  /// Replays `forced` decision by decision. Past its end — or when the
+  /// forced rank is not currently runnable (trace divergence) — falls
+  /// back to the lowest runnable rank, or to continuing the previously
+  /// chosen rank when `continue_after` is set (the non-preemptive
+  /// default the preemption-bounded sweep perturbs).
+  static Chooser forced(Schedule forced, bool continue_after = false);
+
+ private:
+  enum class State : std::uint8_t {
+    kNotStarted,
+    kRunnable,
+    kRunning,
+    kBlocked,
+    kDone,
+  };
+
+  /// Picks and announces the next current_ rank if none is running and at
+  /// least one is runnable. Records a DecisionRecord at multi-choice
+  /// points. Caller holds mu_.
+  void schedule_locked();
+
+  /// Detects the no-runnable-but-blocked wedge and fires the stuck
+  /// handler (with mu_ released — the handler pokes mailboxes, which call
+  /// back into wake()).
+  void maybe_stuck(std::unique_lock<std::mutex>& lock);
+
+  /// Parks the calling rank thread until it holds the run token.
+  void wait_for_turn(std::unique_lock<std::mutex>& lock, int rank);
+
+  Chooser chooser_;
+  StuckHandler on_stuck_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int nranks_ = 0;
+  int begun_ = 0;    ///< ranks that reached rank_begin (start gate)
+  int current_ = -1; ///< rank holding the run token, -1 = none
+  bool stuck_fired_ = false;
+  std::vector<State> states_;
+  std::vector<mpisim::YieldPoint> ops_;  ///< pending op per rank
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace pioblast::mpicheck

@@ -1,0 +1,41 @@
+#include "mpicheck/schedule.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace pioblast::mpicheck {
+
+std::string format_schedule(const Schedule& schedule) {
+  std::string out;
+  for (const Decision& d : schedule) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(d.rank);
+  }
+  return out;
+}
+
+Schedule parse_schedule(const std::string& text) {
+  Schedule out;
+  if (text.empty()) return out;
+  std::istringstream in(text);
+  std::string field;
+  while (std::getline(in, field, ',')) {
+    std::size_t pos = 0;
+    int rank = -1;
+    try {
+      rank = std::stoi(field, &pos);
+    } catch (const std::exception&) {
+      throw util::RuntimeError("mpicheck: bad schedule field '" + field +
+                               "' (want a rank number)");
+    }
+    if (pos != field.size() || rank < 0) {
+      throw util::RuntimeError("mpicheck: bad schedule field '" + field +
+                               "' (want a non-negative rank number)");
+    }
+    out.push_back(Decision{rank, {}});
+  }
+  return out;
+}
+
+}  // namespace pioblast::mpicheck

@@ -1,0 +1,128 @@
+// Scheduling and race-detection hooks for the simulated runtime.
+//
+// The mpicheck subsystem (src/mpicheck) plugs into the runtime through two
+// abstract interfaces so mpisim itself stays dependency-free:
+//
+//   * ScheduleHook — a deterministic cooperative scheduler. When installed
+//     (RunOptions::schedule), exactly one rank thread runs at a time; every
+//     send, receive attempt, collective entry, and injected-fault event is
+//     a yield point where the hook picks the next rank to run. This turns
+//     the job into a deterministic function of the hook's choices, which
+//     is what makes systematic schedule exploration and failing-schedule
+//     replay possible.
+//
+//   * RaceHook — a happens-before observer. The runtime reports message
+//     edges (send/recv carry a token through Message::hb) and instrumented
+//     shared-state accesses; the hook maintains vector clocks and flags
+//     conflicting accesses no edge orders (see mpicheck/race.h).
+//
+// Both hooks are borrowed pointers owned by the caller of mpisim::run and
+// must outlive the job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace pioblast::mpisim {
+
+/// One scheduling-relevant operation a rank is parked at. The cooperative
+/// scheduler records these per decision point; the explorer's DPOR-lite
+/// mode uses them to decide which interleavings are provably equivalent.
+struct YieldPoint {
+  enum class Kind : std::uint8_t {
+    kBegin = 0,   ///< rank function about to start
+    kSend,        ///< about to inject a message (peer = destination rank)
+    kRecv,        ///< about to attempt a receive (peer = source or kAnySource)
+    kCollective,  ///< entering a collective (peer = root, detail = op name)
+    kFault,       ///< about to die at an injected crash point
+  };
+  int rank = -1;
+  Kind kind = Kind::kBegin;
+  int peer = -1;
+  int tag = 0;
+  const char* detail = nullptr;  ///< optional static label (collective op)
+};
+
+const char* to_string(YieldPoint::Kind kind);
+
+/// True when the two pending operations commute: executing them in either
+/// order reaches the same state, so an explorer needs only one of the two
+/// interleavings. Conservative: collectives, faults, and not-yet-started
+/// ranks are dependent with everything; two point-to-point ops commute only
+/// when they touch different mailboxes (a send touches its destination's
+/// mailbox, a receive its own).
+bool independent(const YieldPoint& a, const YieldPoint& b);
+
+/// Deterministic cooperative scheduler interface. The runtime calls
+/// start() before any rank thread exists, rank_begin()/finish() around
+/// each rank body, yield() at every scheduling-relevant operation, and
+/// block()/wake() around blocking receives. All calls except start() and
+/// wake() are made from rank threads; rank_begin/yield/block return only
+/// when the hook has scheduled that rank to run.
+class ScheduleHook {
+ public:
+  /// Called when the scheduler finds no runnable rank while some are still
+  /// blocked (a wedged job the protocol verifier did not claim first, e.g.
+  /// with verification off). The handler must wake every blocked receive
+  /// with the given report — the runtime wires it to poison all mailboxes.
+  using StuckHandler = std::function<void(const std::string&)>;
+
+  virtual ~ScheduleHook() = default;
+
+  virtual void start(int nranks, StuckHandler on_stuck) = 0;
+  /// Rank body entry: blocks until this rank is scheduled.
+  virtual void rank_begin(int rank) = 0;
+  /// Yield point: reports the pending op, blocks until rescheduled.
+  virtual void yield(const YieldPoint& op) = 0;
+  /// The rank found no matching message and is blocking: releases the run
+  /// token and returns once wake(rank) made it runnable and the scheduler
+  /// picked it again. The caller re-checks its predicate and may block
+  /// again.
+  virtual void block(int rank) = 0;
+  /// Makes a blocked rank runnable (new message, poison, peer death).
+  virtual void wake(int rank) = 0;
+  /// Rank body exit: releases the run token for good.
+  virtual void finish(int rank) = 0;
+};
+
+/// Happens-before observer interface (see mpicheck/race.h for the
+/// implementation). on_send returns a token the runtime stores in
+/// Message::hb; the receiving side hands it back through on_recv, which is
+/// how message edges advance the receiver's vector clock.
+class RaceHook {
+ public:
+  virtual ~RaceHook() = default;
+
+  virtual void start(int nranks) = 0;
+  virtual std::uint64_t on_send(int src) = 0;
+  virtual void on_recv(int dst, std::uint64_t hb) = 0;
+  /// An instrumented access to shared state. `obj` identifies the state,
+  /// `what` labels the access site for reports, `locks` is the set of
+  /// lock identities protecting the access (two unordered accesses that
+  /// share a lock are exempt — the lockset half of the detector).
+  virtual void on_access(int rank, const void* obj, std::string_view what,
+                         bool write, std::span<const void* const> locks) = 0;
+};
+
+// ---- thread-local annotation context --------------------------------------
+//
+// Library code that has no Process& at hand (RunMetrics, Mailbox) reports
+// accesses through a thread-local {RaceHook*, rank} context the runtime
+// installs around each rank body. Outside a checked run every annotation
+// is a no-op, so instrumentation costs one thread-local load.
+
+/// Installs/clears the calling thread's race context (runtime only).
+void set_thread_check_context(RaceHook* race, int rank);
+void clear_thread_check_context();
+
+/// Reports an access to `obj` on behalf of the calling rank thread.
+/// `extra_locks` augments the thread's held-lock set (for code that
+/// annotates just outside its critical section).
+void annotate_access(const void* obj, std::string_view what, bool write,
+                     std::initializer_list<const void*> extra_locks = {});
+
+}  // namespace pioblast::mpisim

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <tuple>
 #include <utility>
 
 #include "mpisim/fault.h"
+#include "mpisim/hooks.h"
 #include "mpisim/verifier.h"
 #include "util/error.h"
 
@@ -17,12 +19,18 @@ constexpr const char* kDefaultPoisonReason =
 }  // namespace
 
 void Mailbox::push(Message msg) {
+  // Annotated outside the critical section on purpose: the race detector
+  // may poison mailboxes on a report, which would self-deadlock under mu_.
+  // The mailbox's own lock identity is passed explicitly instead.
+  annotate_access(this, "Mailbox::push", /*write=*/true, {this});
   {
     std::lock_guard lock(mu_);
     if (sealed_) return;  // the owning rank crashed; its mail vanishes
     queue_.push_back(std::move(msg));
+    seq_.push_back(next_seq_++);
   }
   cv_.notify_all();
+  if (schedule_ != nullptr) schedule_->wake(rank_);
 }
 
 std::size_t Mailbox::find_match(int src, std::span<const int> tags) const {
@@ -49,6 +57,7 @@ std::size_t Mailbox::find_match(int src, std::span<const int> tags) const {
 Message Mailbox::take_at(std::size_t idx) {
   Message msg = std::move(queue_[idx]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  seq_.erase(seq_.begin() + static_cast<std::ptrdiff_t>(idx));
   return msg;
 }
 
@@ -58,6 +67,7 @@ Message Mailbox::pop(int src, int tag) {
 }
 
 Message Mailbox::pop_any(int src, std::span<const int> tags) {
+  annotate_access(this, "Mailbox::pop", /*write=*/true, {this});
   for (;;) {
     {
       std::unique_lock lock(mu_);
@@ -82,7 +92,14 @@ Message Mailbox::pop_any(int src, std::span<const int> tags) {
     // re-checks before sleeping, and the scan consults has_match() before
     // declaring a registered rank truly stuck.
     if (verifier_ != nullptr) verifier_->on_block(rank_, src, tags);
-    {
+    if (schedule_ != nullptr) {
+      // Cooperative mode: park on the scheduler instead of the condition
+      // variable. This rank still holds the run token between the match
+      // check above and here, so no wakeup can be lost; block() returns
+      // once a push/poison/seal/death woke the rank and the scheduler
+      // picked it again, and the loop re-checks the predicate.
+      schedule_->block(rank_);
+    } else {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [&] {
         return poisoned_ || find_match(src, tags) != kNpos ||
@@ -98,8 +115,10 @@ void Mailbox::seal() {
     std::lock_guard lock(mu_);
     sealed_ = true;
     queue_.clear();
+    seq_.clear();
   }
   cv_.notify_all();
+  if (schedule_ != nullptr) schedule_->wake(rank_);
 }
 
 void Mailbox::notify_dead(int rank) {
@@ -108,6 +127,7 @@ void Mailbox::notify_dead(int rank) {
     dead_.insert(rank);
   }
   cv_.notify_all();
+  if (schedule_ != nullptr) schedule_->wake(rank_);
 }
 
 void Mailbox::poison() { poison(kDefaultPoisonReason, false); }
@@ -122,11 +142,17 @@ void Mailbox::poison(std::string reason, bool verify_failure) {
     }
   }
   cv_.notify_all();
+  if (schedule_ != nullptr) schedule_->wake(rank_);
 }
 
 void Mailbox::bind_verifier(ProtocolVerifier* verifier, int rank) {
   verifier_ = verifier;
   rank_ = rank;
+}
+
+void Mailbox::bind_schedule(ScheduleHook* schedule, int rank) {
+  schedule_ = schedule;
+  rank_ = rank;  // also set here: bind_verifier is skipped when verify is off
 }
 
 std::optional<Message> Mailbox::try_pop(int src, int tag) {
@@ -157,7 +183,15 @@ std::vector<Mailbox::PendingInfo> Mailbox::pending_info() const {
   std::lock_guard lock(mu_);
   std::vector<PendingInfo> out;
   out.reserve(queue_.size());
-  for (const Message& m : queue_) out.push_back({m.src, m.tag, m.size()});
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    out.push_back({queue_[i].src, queue_[i].tag, queue_[i].size(), seq_[i]});
+  }
+  // (src, tag, seq) order keeps leak reports byte-stable across schedules
+  // that deliver the same message set in different arrival orders.
+  std::sort(out.begin(), out.end(), [](const PendingInfo& a,
+                                       const PendingInfo& b) {
+    return std::tie(a.src, a.tag, a.seq) < std::tie(b.src, b.tag, b.seq);
+  });
   return out;
 }
 

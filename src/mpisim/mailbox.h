@@ -24,6 +24,7 @@
 namespace pioblast::mpisim {
 
 class ProtocolVerifier;
+class ScheduleHook;
 
 class Mailbox {
  public:
@@ -60,11 +61,14 @@ class Mailbox {
   bool has_match_any(int src, std::span<const int> tags) const;
 
   /// Provenance of every still-queued message, for the verifier's
-  /// end-of-job leak report.
+  /// end-of-job leak report. `seq` is the message's arrival ordinal in
+  /// this mailbox; entries are sorted by (src, tag, seq) so the report is
+  /// byte-stable across schedules that deliver the same message set.
   struct PendingInfo {
     int src = 0;
     int tag = 0;
     std::uint64_t bytes = 0;
+    std::uint64_t seq = 0;
   };
   std::vector<PendingInfo> pending_info() const;
 
@@ -81,6 +85,12 @@ class Mailbox {
   /// Binds the protocol verifier (not owned) and this mailbox's rank.
   /// Must happen before any rank thread starts popping.
   void bind_verifier(ProtocolVerifier* verifier, int rank);
+
+  /// Binds the cooperative scheduler (not owned): blocking pops park on
+  /// the scheduler instead of the condition variable, and every event that
+  /// could unblock the owner (push, poison, seal, peer death) wakes it
+  /// through the hook. Must happen before any rank thread starts.
+  void bind_schedule(ScheduleHook* schedule, int rank);
 
   // ---- fault support ------------------------------------------------------
 
@@ -104,12 +114,15 @@ class Mailbox {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::deque<std::uint64_t> seq_;  ///< arrival ordinal of queue_[i]
+  std::uint64_t next_seq_ = 0;
   std::set<int> dead_;  ///< crashed peers (see notify_dead)
   bool sealed_ = false;
   bool poisoned_ = false;
   bool verify_poison_ = false;
   std::string poison_reason_;
   ProtocolVerifier* verifier_ = nullptr;
+  ScheduleHook* schedule_ = nullptr;
   int rank_ = -1;
 };
 

@@ -32,6 +32,11 @@ struct Message {
   /// type knowledge both ends of a correct protocol already share.
   TypeStamp stamp{};
 
+  /// Happens-before token issued by the race detector at send time and
+  /// joined into the receiver's vector clock (0 = no detector attached).
+  /// Like `stamp`, bookkeeping — not part of the simulated wire size.
+  std::uint64_t hb = 0;
+
   std::uint64_t size() const { return payload.size(); }
 };
 

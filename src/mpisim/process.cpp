@@ -15,9 +15,28 @@ Process::Process(int rank, World& world) : rank_(rank), world_(world) {
   }
 }
 
+void Process::yield_point(YieldPoint::Kind kind, int peer, int tag,
+                          const char* detail) {
+  if (ScheduleHook* s = world_.schedule())
+    s->yield(YieldPoint{rank_, kind, peer, tag, detail});
+}
+
 void Process::maybe_crash() {
-  if (crash_at_ != 0 && ++comm_events_ == crash_at_)
+  if (crash_at_ != 0 && ++comm_events_ == crash_at_) {
+    // The crash is itself a scheduling-relevant event: exploring where it
+    // lands relative to other ranks' progress is how mpicheck exercises
+    // detection/recovery interleavings.
+    yield_point(YieldPoint::Kind::kFault, -1, 0, "crash");
     throw RankCrash{rank_, crash_at_, clock_.now()};
+  }
+}
+
+void Process::annotate_read(const void* obj, std::string_view what) {
+  if (RaceHook* r = world_.race()) r->on_access(rank_, obj, what, false, {});
+}
+
+void Process::annotate_write(const void* obj, std::string_view what) {
+  if (RaceHook* r = world_.race()) r->on_access(rank_, obj, what, true, {});
 }
 
 void Process::accrue_phase() {
@@ -62,6 +81,7 @@ void Process::send(int dst, int tag, std::span<const std::uint8_t> data,
                    TypeStamp stamp) {
   PIOBLAST_CHECK_MSG(dst >= 0 && dst < size(), "send to invalid rank " << dst);
   PIOBLAST_CHECK_MSG(dst != rank_, "send to self is not supported");
+  yield_point(YieldPoint::Kind::kSend, dst, tag);
   maybe_crash();
   if (ProtocolVerifier* v = world_.verifier()) v->on_send(rank_, dst, tag);
   const auto& net = cluster().network;
@@ -83,6 +103,11 @@ void Process::send(int dst, int tag, std::span<const std::uint8_t> data,
                     " bytes=" + std::to_string(data.size()));
     }
   }
+  // The happens-before token is issued even for dropped sends (the send
+  // itself still happened on this rank's timeline) but only a delivered
+  // message carries it to the receiver.
+  std::uint64_t hb = 0;
+  if (RaceHook* r = world_.race()) hb = r->on_send(rank_);
   if (dropped) return;  // injection cost charged; the wire eats the message
   Message msg;
   msg.src = rank_;
@@ -90,13 +115,17 @@ void Process::send(int dst, int tag, std::span<const std::uint8_t> data,
   msg.arrival = clock_.now() + net.wire_latency();
   msg.payload.assign(data.begin(), data.end());
   msg.stamp = stamp;
+  msg.hb = hb;
   world_.mailbox(dst).push(std::move(msg));
 }
 
 Message Process::recv(int src, int tag) {
+  yield_point(YieldPoint::Kind::kRecv, src, tag);
   if (ProtocolVerifier* v = world_.verifier()) v->on_recv_posted(rank_, src, tag);
   maybe_crash();
   Message msg = world_.mailbox(rank_).pop(src, tag);
+  if (RaceHook* r = world_.race(); r != nullptr && msg.hb != 0)
+    r->on_recv(rank_, msg.hb);
   clock_.advance_to(msg.arrival);
   clock_.advance(cluster().network.recv_cost(msg.size()));
   if (Tracer* t = world_.tracer()) {
@@ -108,11 +137,15 @@ Message Process::recv(int src, int tag) {
 }
 
 Message Process::recv_any_of(std::span<const int> tags) {
+  yield_point(YieldPoint::Kind::kRecv, kAnySource,
+              tags.empty() ? 0 : tags[0]);
   if (ProtocolVerifier* v = world_.verifier()) {
     for (const int tag : tags) v->on_recv_posted(rank_, kAnySource, tag);
   }
   maybe_crash();
   Message msg = world_.mailbox(rank_).pop_any(kAnySource, tags);
+  if (RaceHook* r = world_.race(); r != nullptr && msg.hb != 0)
+    r->on_recv(rank_, msg.hb);
   clock_.advance_to(msg.arrival);
   clock_.advance(cluster().network.recv_cost(msg.size()));
   if (Tracer* t = world_.tracer()) {
@@ -126,7 +159,11 @@ Message Process::recv_any_of(std::span<const int> tags) {
 
 std::size_t Process::drain(int tag) {
   std::size_t n = 0;
-  while (world_.mailbox(rank_).try_pop(kAnySource, tag)) ++n;
+  while (auto msg = world_.mailbox(rank_).try_pop(kAnySource, tag)) {
+    if (RaceHook* r = world_.race(); r != nullptr && msg->hb != 0)
+      r->on_recv(rank_, msg->hb);
+    ++n;
+  }
   return n;
 }
 
@@ -147,6 +184,7 @@ std::span<const int> Process::internal_tags() {
 }
 
 void Process::enter_collective(const char* op, int root) {
+  yield_point(YieldPoint::Kind::kCollective, root, 0, op);
   const std::uint64_t seq = collectives_entered_++;
   if (Tracer* t = world_.tracer()) {
     t->record(rank_, clock_.now(), TraceKind::kCollective,

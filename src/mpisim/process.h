@@ -157,6 +157,16 @@ class Process {
   /// as the only legitimate tags at or above kDriverTagLimit.
   static std::span<const int> internal_tags();
 
+  // ---- race-detector annotations ------------------------------------------
+  //
+  // Reports an access to driver- or test-level shared state to the
+  // attached race detector (no-op when none is installed). `obj` is the
+  // identity of the shared state; `what` labels the access site in
+  // reports.
+
+  void annotate_read(const void* obj, std::string_view what);
+  void annotate_write(const void* obj, std::string_view what);
+
  private:
   int rank_;
   World& world_;
@@ -193,6 +203,12 @@ class Process {
   /// Records the collective's trace fingerprint and runs the verifier's
   /// order check. Called on entry by every collective, on every rank.
   void enter_collective(const char* op, int root);
+
+  /// Cooperative-scheduler yield point (no-op when no scheduler is
+  /// installed): reports the pending operation and blocks until this rank
+  /// is scheduled to run it.
+  void yield_point(YieldPoint::Kind kind, int peer, int tag,
+                   const char* detail = nullptr);
 };
 
 }  // namespace pioblast::mpisim

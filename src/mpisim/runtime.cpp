@@ -35,6 +35,20 @@ RunReport run(int nranks, const sim::ClusterConfig& cluster,
   World world(nranks, cluster);
   world.set_tracer(opts.tracer);
   world.set_fault_plan(opts.faults);
+  if (opts.schedule != nullptr) {
+    // The stuck handler covers the verifier-off case: when the scheduler
+    // finds no runnable rank but blocked ones remain, it wakes them all
+    // with the report so the job unwinds instead of hanging.
+    opts.schedule->start(nranks, [&world](const std::string& why) {
+      for (int r = 0; r < world.size(); ++r)
+        world.mailbox(r).poison(why, /*verify_failure=*/true);
+    });
+    world.set_schedule(opts.schedule);
+  }
+  if (opts.race != nullptr) {
+    opts.race->start(nranks);
+    world.set_race(opts.race);
+  }
   if (opts.verify.enabled) {
     auto internal = Process::internal_tags();
     world.install_verifier(std::make_unique<ProtocolVerifier>(
@@ -48,6 +62,8 @@ RunReport run(int nranks, const sim::ClusterConfig& cluster,
   std::exception_ptr first_error;
 
   auto body = [&](int rank) {
+    set_thread_check_context(opts.race, rank);
+    if (opts.schedule != nullptr) opts.schedule->rank_begin(rank);
     Process proc(rank, world);
     bool crashed = false;
     try {
@@ -79,6 +95,10 @@ RunReport run(int nranks, const sim::ClusterConfig& cluster,
     rr.bytes_sent = proc.bytes_sent();
     rr.messages_sent = proc.messages_sent();
     rr.crashed = crashed;
+    // Release the run token last: everything above runs scheduled, so the
+    // whole body — including error paths — stays deterministic.
+    if (opts.schedule != nullptr) opts.schedule->finish(rank);
+    clear_thread_check_context();
   };
 
   std::vector<std::thread> threads;

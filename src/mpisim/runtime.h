@@ -30,6 +30,12 @@ struct RunOptions {
   /// Fault injections (crashes, stragglers, message drops); empty and
   /// inert by default. See fault.h.
   FaultPlan faults{};
+  /// Cooperative scheduler (not owned; must outlive the run). When set,
+  /// exactly one rank runs at a time and every send/recv/collective/fault
+  /// is a yield point — the foundation of mpicheck's schedule exploration.
+  ScheduleHook* schedule = nullptr;
+  /// Happens-before race detector (not owned; must outlive the run).
+  RaceHook* race = nullptr;
 };
 
 /// Per-rank results collected after the rank function returns.

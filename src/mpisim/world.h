@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mpisim/fault.h"
+#include "mpisim/hooks.h"
 #include "mpisim/mailbox.h"
 #include "mpisim/trace.h"
 #include "mpisim/verifier.h"
@@ -76,6 +77,21 @@ class World {
   /// The installed verifier, or null when verification is off.
   ProtocolVerifier* verifier() const { return verifier_.get(); }
 
+  /// Installs the cooperative scheduler (not owned; must outlive the run)
+  /// and binds every mailbox to it. Must be called before rank threads
+  /// start. Null leaves the job free-running.
+  void set_schedule(ScheduleHook* schedule) {
+    schedule_ = schedule;
+    for (int r = 0; r < size_; ++r)
+      mailboxes_[static_cast<std::size_t>(r)]->bind_schedule(schedule, r);
+  }
+  ScheduleHook* schedule() const { return schedule_; }
+
+  /// Installs the race detector (not owned; must outlive the run). Null
+  /// disables happens-before tracking.
+  void set_race(RaceHook* race) { race_ = race; }
+  RaceHook* race() const { return race_; }
+
   // ---- faults -------------------------------------------------------------
 
   /// Arms the fault plan (validated against the job size). Must be called
@@ -122,6 +138,9 @@ class World {
       notice.src = rank;
       notice.tag = kTagFaultNotice;
       notice.arrival = when + faults_.detection_delay;
+      // The crash edge orders everything the dead rank did before the
+      // failure detector's notice, same as a regular message send.
+      if (race_ != nullptr) notice.hb = race_->on_send(rank);
       mailbox(0).push(std::move(notice));
     }
     for (int r = 0; r < size_; ++r)
@@ -139,6 +158,8 @@ class World {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<bool> aborted_{false};
   Tracer* tracer_ = nullptr;
+  ScheduleHook* schedule_ = nullptr;
+  RaceHook* race_ = nullptr;
   std::unique_ptr<ProtocolVerifier> verifier_;
   FaultPlan faults_;
   std::unique_ptr<std::atomic<bool>[]> dead_;

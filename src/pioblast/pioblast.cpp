@@ -42,6 +42,7 @@ class PioBlastApp final : public driver::MasterWorkerApp {
         dynamic_(kind == driver::SchedulerKind::kGreedyDynamic) {
     set_verify(opts.verify);
     set_faults(opts.faults);
+    set_check(opts.schedule, opts.race);
   }
 
  private:

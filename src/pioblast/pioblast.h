@@ -40,6 +40,7 @@
 #include "blast/job.h"
 #include "driver/scheduler.h"
 #include "mpisim/fault.h"
+#include "mpisim/hooks.h"
 #include "mpisim/trace.h"
 #include "pario/collective.h"
 #include "pario/env.h"
@@ -81,6 +82,11 @@ struct PioBlastOptions {
   /// I/O falls back to independent transfers for the survivors. See
   /// mpisim/fault.h and the CLI's --fault flag.
   mpisim::FaultPlan faults;
+  /// mpicheck hooks (mpisim/hooks.h; either may be null, neither owned):
+  /// a deterministic cooperative scheduler and a happens-before race
+  /// detector. Set by the CLI's --check/--schedule modes and by tests.
+  mpisim::ScheduleHook* schedule = nullptr;
+  mpisim::RaceHook* race = nullptr;
 };
 
 /// Runs pioBLAST with `nprocs` simulated processes (1 master + workers)

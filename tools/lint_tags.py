@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Lint: no raw integer message tags in src/.
+
+Every point-to-point tag in the driver band must come from the central
+registry (src/driver/tags.h) and every infrastructure tag from a named
+internal-band constant (mpisim collectives, pario two-phase exchange, the
+failure detector). A bare integer literal in the tag slot of a send or
+receive call bypasses both the registry's static asserts and the protocol
+verifier's tag audit, so CI rejects it here.
+
+Checked call forms (tag slot = second argument):
+
+    p.send(dst, TAG, ...)        p.recv(src, TAG)
+    p.send_value(dst, TAG, v)    p.recv_value<T>(src, TAG)
+    mb.try_pop(src, TAG)         mb.has_match(src, TAG)
+
+Typed channels (driver/channel.h) take a Process as their first argument
+and carry their tag internally — `ch.recv(p, 0)` passes a rank, not a
+tag — so calls whose first argument is `p` are skipped. Suppress a
+deliberate literal with a `lint-tags: allow` comment on the same line.
+
+Usage: lint_tags.py <src-dir> [...more dirs]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+METHODS = ("send", "recv", "send_value", "recv_value", "try_pop", "has_match")
+
+# Files whose whole purpose is defining the tag bands.
+ALLOWED_FILES = frozenset({"driver/tags.h"})
+
+SUPPRESS = "lint-tags: allow"
+
+CALL_RE = re.compile(
+    r"\.\s*(?P<method>" + "|".join(METHODS) + r")\s*(?:<[^;{}()<>]*>)?\s*\("
+)
+INT_LITERAL_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+
+
+def split_top_level_args(text, start):
+    """Returns ([arg, ...], end) for the balanced call starting at
+    text[start] == '(' — or (None, start) if unbalanced/truncated."""
+    assert text[start] == "("
+    depth = 0
+    args = []
+    current = []
+    for i in range(start, len(text)):
+        c = text[i]
+        if c in "([{<" and (c != "<" or depth > 0):
+            # '<' only nests inside the arg list (comparisons are rare in
+            # tag slots; template args in later slots are what matters).
+            depth += 1
+            current.append(c)
+        elif c in ")]}>" and (c != ">" or depth > 1):
+            depth -= 1
+            if depth == 0:
+                args.append("".join(current[1:]).strip())
+                return args, i
+            current.append(c)
+        elif c == "," and depth == 1:
+            args.append("".join(current[1:]).strip())
+            current = ["("]
+        else:
+            current.append(c)
+    return None, start
+
+
+def strip_comments(text):
+    """Blanks out comments and string literals, preserving offsets."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path, rel, findings):
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    text = strip_comments(raw)
+    raw_lines = raw.splitlines()
+    for m in CALL_RE.finditer(text):
+        open_paren = m.end() - 1
+        args, _ = split_top_level_args(text, open_paren)
+        if args is None or len(args) < 2:
+            continue
+        if args[0] == "p":  # typed channel: ch.recv(p, rank)
+            continue
+        tag = args[1]
+        if not INT_LITERAL_RE.match(tag):
+            continue
+        line_no = text.count("\n", 0, m.start()) + 1
+        line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if SUPPRESS in line:
+            continue
+        findings.append(
+            f"{rel}:{line_no}: raw integer tag {tag} in .{m.group('method')}() "
+            f"call; use a named constant from driver/tags.h or an "
+            f"internal-band constant"
+        )
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    findings = []
+    scanned = 0
+    for root in argv[1:]:
+        base = Path(root)
+        if not base.is_dir():
+            print(f"lint_tags: not a directory: {root}", file=sys.stderr)
+            return 2
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in {".h", ".cpp", ".cc", ".hpp"}:
+                continue
+            rel = path.relative_to(base).as_posix()
+            if rel in ALLOWED_FILES:
+                continue
+            scanned += 1
+            lint_file(path, rel, findings)
+    for f in findings:
+        print(f)
+    print(
+        f"lint_tags: {scanned} files scanned, {len(findings)} raw tag "
+        f"literal(s) found",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

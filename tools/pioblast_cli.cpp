@@ -9,6 +9,8 @@
 //   pioblast_cli --driver=pioblast --procs 16 --db-residues 1048576
 //   pioblast_cli --driver=both --cluster=blade --query-bytes 8192
 //   pioblast_cli --db-fasta my.fa --queries-fasta q.fa --output report.txt
+//   pioblast_cli --procs 4 --check schedules=50,preempt=2   # explore
+//   pioblast_cli --procs 4 --schedule 0,2,1,1               # replay
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -18,6 +20,7 @@
 #include "driver/metrics.h"
 #include "driver/scheduler.h"
 #include "mpiblast/mpiblast.h"
+#include "mpicheck/explore.h"
 #include "mpisim/trace.h"
 #include "pioblast/pioblast.h"
 #include "seqdb/generator.h"
@@ -41,6 +44,49 @@ std::string read_file(const std::string& path) {
 void print_metrics(const char* name, const blast::DriverResult& r) {
   // One machine-readable line per driver: METRICS <driver> {json}.
   std::printf("METRICS %s %s\n", name, driver::metrics_json(r.metrics).c_str());
+}
+
+/// Parses the --check spec ("schedules=50,seed=1,preempt=2,dpor=on,
+/// races=on,shrink=on,max=2000"; every field optional).
+mpicheck::CheckOptions parse_check(const std::string& spec) {
+  mpicheck::CheckOptions opts;
+  std::istringstream in(spec);
+  std::string field;
+  while (std::getline(in, field, ',')) {
+    if (field.empty()) continue;
+    const auto eq = field.find('=');
+    if (eq == std::string::npos)
+      throw util::RuntimeError("--check: bad field '" + field +
+                               "' (want key=value)");
+    const std::string key = field.substr(0, eq);
+    const std::string val = field.substr(eq + 1);
+    if (key == "schedules") opts.random_schedules = std::stoi(val);
+    else if (key == "seed") opts.seed = std::stoull(val);
+    else if (key == "preempt") opts.preemption_bound = std::stoi(val);
+    else if (key == "dpor") opts.dpor = val != "off";
+    else if (key == "races") opts.detect_races = val != "off";
+    else if (key == "shrink") opts.shrink = val != "off";
+    else if (key == "max") opts.max_schedules = std::stoi(val);
+    else
+      throw util::RuntimeError("--check: unknown key '" + key + "'");
+  }
+  return opts;
+}
+
+/// Explores (or replays) `drive` under mpicheck and prints the CHECK
+/// metrics line. Returns false when a failing schedule was found.
+bool run_checked(
+    const char* name, const mpicheck::CheckOptions& check,
+    const std::function<void(mpisim::ScheduleHook*, mpisim::RaceHook*)>&
+        drive) {
+  mpicheck::Checker checker(drive, check);
+  const mpicheck::CheckResult res = checker.run();
+  std::printf("%s driver=%s\n", mpicheck::summary(res).c_str(), name);
+  if (res.failed) {
+    std::printf("%s\nreplay with: --schedule %s\n", res.error.c_str(),
+                res.failing_trace.c_str());
+  }
+  return !res.failed;
 }
 
 void report(const char* name, const blast::DriverResult& r) {
@@ -85,6 +131,13 @@ int main(int argc, char** argv) {
            "fault injections, ';'-separated: \"rank=K,crash_at=N\" | "
            "\"rank=K,slow=X\" | \"rank=K,drop_send=N\"; plan-wide: "
            "\"detect=<seconds>\", \"arm\"")
+      .add("check", "",
+           "explore schedules with mpicheck: \"schedules=N,seed=S,preempt=P,"
+           "dpor=on|off,races=on|off,shrink=on|off,max=M\" (empty value "
+           "fields use defaults; pass \"default\" for all defaults)")
+      .add("schedule", "",
+           "replay one forced schedule (a comma-separated rank trace as "
+           "printed by a failing --check run)")
       .add_flag("early-score-broadcast", "enable the §5 pruning extension")
       .add_flag("dynamic-scheduling", "greedy range scheduling (§5)")
       .add_flag("metrics", "print one machine-readable METRICS line per run")
@@ -154,6 +207,15 @@ int main(int argc, char** argv) {
   mpisim::Tracer tracer;
   mpisim::Tracer* trace_ptr = args.get_flag("trace") ? &tracer : nullptr;
 
+  // --check explores many schedules; --schedule replays exactly one.
+  const bool checking =
+      !args.get("check").empty() || !args.get("schedule").empty();
+  mpicheck::CheckOptions check_opts;
+  if (!args.get("check").empty() && args.get("check") != "default")
+    check_opts = parse_check(args.get("check"));
+  if (!args.get("schedule").empty())
+    check_opts.replay_trace = args.get("schedule");
+
   std::vector<std::uint8_t> mpi_out, pio_out;
   if (driver == "mpiblast" || driver == "both") {
     const int nfragments = job.nfragments > 0 ? job.nfragments : nprocs - 1;
@@ -171,7 +233,20 @@ int main(int argc, char** argv) {
     opts.faults = faults;
     if (!args.get("scheduler").empty())
       opts.scheduler = driver::parse_scheduler(args.get("scheduler"));
-    const auto result = mpiblast::run_mpiblast(cluster, nprocs, storage, opts);
+    blast::DriverResult result;
+    if (checking) {
+      const bool ok = run_checked(
+          "mpiblast", check_opts,
+          [&](mpisim::ScheduleHook* s, mpisim::RaceHook* r) {
+            mpiblast::MpiBlastOptions o = opts;
+            o.schedule = s;
+            o.race = r;
+            result = mpiblast::run_mpiblast(cluster, nprocs, storage, o);
+          });
+      if (!ok) return 1;
+    } else {
+      result = mpiblast::run_mpiblast(cluster, nprocs, storage, opts);
+    }
     report("mpiBLAST", result);
     if (args.get_flag("metrics")) print_metrics("mpiblast", result);
     mpi_out = storage.shared().read_all("out.mpiblast.txt");
@@ -189,7 +264,20 @@ int main(int argc, char** argv) {
     opts.faults = faults;
     if (!args.get("scheduler").empty())
       opts.scheduler = driver::parse_scheduler(args.get("scheduler"));
-    const auto result = pio::run_pioblast(cluster, nprocs, storage, opts);
+    blast::DriverResult result;
+    if (checking) {
+      const bool ok = run_checked(
+          "pioblast", check_opts,
+          [&](mpisim::ScheduleHook* s, mpisim::RaceHook* r) {
+            pio::PioBlastOptions o = opts;
+            o.schedule = s;
+            o.race = r;
+            result = pio::run_pioblast(cluster, nprocs, storage, o);
+          });
+      if (!ok) return 1;
+    } else {
+      result = pio::run_pioblast(cluster, nprocs, storage, opts);
+    }
     report("pioBLAST", result);
     if (args.get_flag("metrics")) print_metrics("pioblast", result);
     pio_out = storage.shared().read_all("out.pioblast.txt");
