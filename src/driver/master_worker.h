@@ -20,6 +20,7 @@
 #include "blast/query_set.h"
 #include "driver/metrics.h"
 #include "driver/scheduler.h"
+#include "mpisim/exec.h"
 #include "mpisim/fault.h"
 #include "mpisim/process.h"
 #include "mpisim/trace.h"
@@ -66,6 +67,12 @@ class MasterWorkerApp {
     race_ = race;
   }
 
+  /// Selects the rank execution backend (mpisim/exec.h): one OS thread
+  /// per rank (default) or stackful fibers on one scheduler thread — the
+  /// latter is what makes multi-thousand-rank worlds practical. Driver
+  /// output is identical under both.
+  void set_exec(mpisim::ExecModel exec) { exec_ = exec; }
+
  protected:
   /// Driver protocol. The default dispatches to master()/worker();
   /// override body() directly for interleaved protocols.
@@ -98,6 +105,7 @@ class MasterWorkerApp {
   mpisim::FaultPlan faults_;
   mpisim::ScheduleHook* schedule_ = nullptr;
   mpisim::RaceHook* race_ = nullptr;
+  mpisim::ExecModel exec_ = mpisim::ExecModel::kThreads;
   WorkerTopology topology_;
   RunMetrics metrics_;
 };

@@ -42,6 +42,7 @@ class MpiBlastApp final : public driver::MasterWorkerApp {
     set_verify(opts.verify);
     set_faults(opts.faults);
     set_check(opts.schedule, opts.race);
+    set_exec(opts.exec);
   }
 
  private:

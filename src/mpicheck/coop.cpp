@@ -142,6 +142,39 @@ void CoopScheduler::finish(int rank) {
   maybe_stuck(lock);
 }
 
+void CoopScheduler::inline_start(int nranks) {
+  std::unique_lock lock(mu_);
+  PIOBLAST_CHECK(nranks >= 1);
+  nranks_ = nranks;
+  // The event loop creates every fiber before resuming any, so the
+  // threaded backend's start gate is satisfied by construction.
+  begun_ = nranks;
+  current_ = -1;
+  stuck_fired_ = false;
+  states_.assign(static_cast<std::size_t>(nranks), State::kNotStarted);
+  ops_.assign(static_cast<std::size_t>(nranks), mpisim::YieldPoint{});
+  records_.clear();
+}
+
+int CoopScheduler::inline_choose(const std::vector<int>& enabled,
+                                 const std::vector<mpisim::YieldPoint>& ops) {
+  std::unique_lock lock(mu_);
+  int chosen = enabled[0];
+  if (chooser_) {
+    const int want = chooser_(records_.size(), enabled, ops);
+    if (contains(enabled, want)) chosen = want;
+  }
+  // The loop only consults the delegate at multi-choice points, so
+  // recording unconditionally keeps trace parity with schedule_locked().
+  records_.push_back(DecisionRecord{enabled, ops, chosen});
+  return chosen;
+}
+
+void CoopScheduler::inline_stuck() {
+  std::unique_lock lock(mu_);
+  stuck_fired_ = true;
+}
+
 Schedule CoopScheduler::schedule() const {
   Schedule out;
   out.reserve(records_.size());

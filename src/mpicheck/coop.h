@@ -53,6 +53,16 @@ class CoopScheduler final : public mpisim::ScheduleHook {
   void wake(int rank) override;
   void finish(int rank) override;
 
+  // Inline (event-backend) protocol: mpisim's EventLoop serializes ranks
+  // natively and drives the scheduler through these instead — the
+  // scheduler degrades to a thin chooser, but records the same
+  // DecisionRecords, so schedules replay on either backend and the
+  // explorer is backend-agnostic.
+  void inline_start(int nranks) override;
+  int inline_choose(const std::vector<int>& enabled,
+                    const std::vector<mpisim::YieldPoint>& ops) override;
+  void inline_stuck() override;
+
   // Run results (read after the job joined) ---------------------------------
 
   /// The multi-choice decisions of the completed run.

@@ -1,0 +1,28 @@
+#include "mpisim/exec.h"
+
+#include "util/error.h"
+
+namespace pioblast::mpisim {
+
+namespace detail {
+bool fibers_supported();  // defined in fiber.cpp
+}  // namespace detail
+
+const char* to_string(ExecModel model) {
+  switch (model) {
+    case ExecModel::kThreads: return "threads";
+    case ExecModel::kEvents: return "events";
+  }
+  return "?";
+}
+
+ExecModel parse_exec_model(std::string_view text) {
+  if (text == "threads") return ExecModel::kThreads;
+  if (text == "events") return ExecModel::kEvents;
+  throw util::RuntimeError("unknown exec model '" + std::string(text) +
+                           "' (want threads | events)");
+}
+
+bool events_supported() { return detail::fibers_supported(); }
+
+}  // namespace pioblast::mpisim

@@ -1,0 +1,60 @@
+// Stackful fibers for the event-driven rank backend.
+//
+// A Fiber is a ucontext-based coroutine with its own mmap'd stack: the
+// scheduler thread resume()s it, and code running inside it suspend()s
+// back to the scheduler at blocking points. Exactly one fiber runs at a
+// time on the scheduler thread — there is no preemption and no parallelism,
+// which is what makes the event backend deterministic.
+//
+// Sanitizer support: stack switches confuse AddressSanitizer's fake-stack
+// bookkeeping and ThreadSanitizer's shadow-stack tracking unless each
+// switch is announced through their fiber APIs. fiber.cpp carries the
+// __sanitizer_{start,finish}_switch_fiber and __tsan_*_fiber annotations
+// behind feature guards, so the event backend stays clean under the CI
+// sanitizer matrix.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace pioblast::mpisim {
+
+class Fiber {
+ public:
+  /// Runs `entry` on a fresh `stack_bytes` stack on first resume(). The
+  /// entry must not let exceptions escape (the stack has no OS frame to
+  /// unwind into) — callers wrap the body in a catch-all.
+  Fiber(std::size_t stack_bytes, std::function<void()> entry);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches the calling (scheduler) thread into the fiber; returns when
+  /// the fiber suspends or its entry returns. Must not be called on a
+  /// finished fiber.
+  void resume();
+
+  /// Switches from inside the fiber back to its scheduler. Must be called
+  /// from within this fiber's entry.
+  void suspend();
+
+  /// True once the entry function has returned.
+  bool finished() const { return finished_; }
+
+  /// The fiber currently running on this thread, or null when the caller
+  /// is the scheduler itself. Lets library code assert it is (not) on a
+  /// fiber stack.
+  static Fiber* current();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  bool finished_ = false;
+
+  static void trampoline(unsigned hi, unsigned lo);
+  void run();
+};
+
+}  // namespace pioblast::mpisim

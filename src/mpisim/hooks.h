@@ -26,6 +26,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace pioblast::mpisim {
 
@@ -57,12 +58,18 @@ const char* to_string(YieldPoint::Kind kind);
 /// mailbox, a receive its own).
 bool independent(const YieldPoint& a, const YieldPoint& b);
 
-/// Deterministic cooperative scheduler interface. The runtime calls
-/// start() before any rank thread exists, rank_begin()/finish() around
-/// each rank body, yield() at every scheduling-relevant operation, and
-/// block()/wake() around blocking receives. All calls except start() and
-/// wake() are made from rank threads; rank_begin/yield/block return only
-/// when the hook has scheduled that rank to run.
+/// Deterministic cooperative scheduler interface. Under the threaded
+/// backend the runtime calls start() before any rank thread exists,
+/// rank_begin()/finish() around each rank body, yield() at every
+/// scheduling-relevant operation, and block()/wake() around blocking
+/// receives. All calls except start() and wake() are made from rank
+/// threads; rank_begin/yield/block return only when the hook has
+/// scheduled that rank to run.
+///
+/// Under the event backend (ExecModel::kEvents) ranks are fibers on one
+/// scheduler thread, which serializes them natively — so the hook is
+/// driven through the non-blocking inline_*() protocol below instead, and
+/// a CoopScheduler degrades to a thin chooser over the native event loop.
 class ScheduleHook {
  public:
   /// Called when the scheduler finds no runnable rank while some are still
@@ -84,9 +91,33 @@ class ScheduleHook {
   /// again.
   virtual void block(int rank) = 0;
   /// Makes a blocked rank runnable (new message, poison, peer death).
+  /// Called by the running rank (or the stuck handler) under both
+  /// backends.
   virtual void wake(int rank) = 0;
   /// Rank body exit: releases the run token for good.
   virtual void finish(int rank) = 0;
+
+  // ---- inline (event-backend) protocol -----------------------------------
+  //
+  // The event loop mirrors the threaded CoopScheduler's state machine —
+  // every yield point is a decision point, wakes never preempt the
+  // running rank — so the decision records a hook accumulates here replay
+  // on either backend. Defaults make any hook a valid no-op chooser.
+
+  /// Called once before any rank runs (the inline analogue of start()).
+  virtual void inline_start(int nranks);
+
+  /// Decision point: picks the next rank out of `enabled` (ascending,
+  /// at least two entries; `ops` is parallel). Returning a non-member
+  /// falls back to the lowest. Single-choice points are forced and never
+  /// reported. Default: enabled[0].
+  virtual int inline_choose(const std::vector<int>& enabled,
+                            const std::vector<YieldPoint>& ops);
+
+  /// The event loop found no runnable rank while some were still blocked
+  /// and fired its stuck handler (the wedge the threaded scheduler
+  /// detects in-band).
+  virtual void inline_stuck();
 };
 
 /// Happens-before observer interface (see mpicheck/race.h for the

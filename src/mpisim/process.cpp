@@ -196,24 +196,51 @@ void Process::enter_collective(const char* op, int root) {
 
 void Process::barrier() {
   enter_collective("barrier", 0);
-  // Flat barrier through rank 0: every rank reports in, rank 0 releases.
-  // Clocks converge to rank 0's post-collection time plus the release hop,
-  // so a barrier also acts as a virtual-clock synchronization point. When
-  // a rank crashed mid-job its report-in never arrives: rank 0 skips it
-  // (PeerLostError) and the release to its sealed mailbox is a no-op, so
-  // the survivors still converge.
-  if (rank_ == 0) {
-    for (int r = 1; r < size(); ++r) {
-      try {
-        recv(r, kTagBarrierUp);
-      } catch (const PeerLostError&) {
-        // Crashed rank: will never report in; impossible without faults.
+  const int p = size();
+  if (world_.fault_tolerant()) {
+    // Flat barrier through rank 0: every rank reports in, rank 0 releases.
+    // No rank depends on a non-root peer to forward, so a crashed interior
+    // rank cannot strand a subtree. When a rank crashed mid-job its
+    // report-in never arrives: rank 0 skips it (PeerLostError) and the
+    // release to its sealed mailbox is a no-op, so the survivors still
+    // converge.
+    if (rank_ == 0) {
+      for (int r = 1; r < p; ++r) {
+        try {
+          recv(r, kTagBarrierUp);
+        } catch (const PeerLostError&) {
+          // Crashed rank: will never report in.
+        }
       }
+      for (int r = 1; r < p; ++r) send(r, kTagBarrierDown, {});
+    } else {
+      send(0, kTagBarrierUp, {});
+      recv(0, kTagBarrierDown);
     }
-    for (int r = 1; r < size(); ++r) send(r, kTagBarrierDown, {});
-  } else {
-    send(0, kTagBarrierUp, {});
-    recv(0, kTagBarrierDown);
+    return;
+  }
+  // Binomial reduce to rank 0, then binomial release — O(log P) depth
+  // instead of the flat O(P) fan-in, which dominates past a few hundred
+  // ranks. Up phase: a rank absorbs each child `rank + mask` below its
+  // lowest set bit, then reports to parent `rank - lowbit(rank)`. Nobody
+  // leaves before the slowest arrival: the release descends from rank 0,
+  // which (transitively) waited for everyone, so a barrier still acts as
+  // a virtual-clock synchronization point.
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((rank_ & mask) != 0) {
+      send(rank_ - mask, kTagBarrierUp, {});
+      break;
+    }
+    if (rank_ + mask < p) recv(rank_ + mask, kTagBarrierUp);
+  }
+  // Down phase: the exact mirror. lowbit bounds this rank's subtree; the
+  // root's bound is the smallest power of two covering the world.
+  int top = 1;
+  while (top < p) top <<= 1;
+  const int lowbit = rank_ == 0 ? top : (rank_ & -rank_);
+  if (rank_ != 0) recv(rank_ - lowbit, kTagBarrierDown);
+  for (int mask = lowbit >> 1; mask >= 1; mask >>= 1) {
+    if (rank_ + mask < p) send(rank_ + mask, kTagBarrierDown, {});
   }
 }
 
@@ -286,27 +313,41 @@ std::vector<std::vector<std::uint8_t>> Process::gather(
 
 sim::Time Process::allreduce_max(sim::Time value) {
   enter_collective("allreduce_max", 0);
-  // Reduce to rank 0, then broadcast the result. Crashed ranks simply
-  // drop out of the maximum.
-  if (rank_ == 0) {
-    sim::Time best = value;
-    for (int r = 1; r < size(); ++r) {
-      try {
-        best = std::max(best, recv_value<sim::Time>(r, kTagReduce));
-      } catch (const PeerLostError&) {
-        // Crashed rank: no contribution; impossible without faults.
+  // Reduce to rank 0, then broadcast the result (bcast picks its own
+  // topology for the run mode). Crashed ranks simply drop out of the
+  // maximum.
+  const int p = size();
+  sim::Time best = value;
+  if (world_.fault_tolerant()) {
+    // Flat reduce: only rank 0 is a fan-in point, so a crashed
+    // contributor costs exactly its own value.
+    if (rank_ == 0) {
+      for (int r = 1; r < p; ++r) {
+        try {
+          best = std::max(best, recv_value<sim::Time>(r, kTagReduce));
+        } catch (const PeerLostError&) {
+          // Crashed rank: no contribution.
+        }
       }
+    } else {
+      send_value(0, kTagReduce, value);
     }
-    std::vector<std::uint8_t> buf(sizeof(best));
-    std::memcpy(buf.data(), &best, sizeof(best));
-    bcast(buf, 0);
-    return best;
+  } else {
+    // Binomial reduce along the barrier's tree: each rank folds in its
+    // children's partial maxima before reporting one value upward.
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if ((rank_ & mask) != 0) {
+        send_value(rank_ - mask, kTagReduce, best);
+        break;
+      }
+      if (rank_ + mask < p)
+        best = std::max(best, recv_value<sim::Time>(rank_ + mask, kTagReduce));
+    }
   }
-  send_value(0, kTagReduce, value);
-  std::vector<std::uint8_t> buf;
+  std::vector<std::uint8_t> buf(sizeof(best));
+  if (rank_ == 0) std::memcpy(buf.data(), &best, sizeof(best));
   bcast(buf, 0);
   PIOBLAST_CHECK(buf.size() == sizeof(sim::Time));
-  sim::Time best;
   std::memcpy(&best, buf.data(), sizeof(best));
   return best;
 }

@@ -7,12 +7,17 @@
 //   send:  sender clock += o_s + n/B;   arrival = sender clock + L
 //   recv:  receiver clock = max(receiver clock, arrival) + o_r + n/B_copy
 //
-// Collectives are implemented on top of these primitives (flat gather at the
-// root — which faithfully reproduces master incast serialization — and a
-// binomial tree for broadcast). All ranks of a job must call collectives in
-// the same order, as in MPI; with the protocol verifier on (the default),
-// that rule — plus tag registration and typed-payload conformance — is
-// enforced at run time (see verifier.h).
+// Collectives are implemented on top of these primitives: binomial trees
+// for broadcast, barrier, and the allreduce reduce phase (O(log P) depth,
+// which is what keeps flat fan-in from dominating past a few hundred
+// ranks), but a deliberately flat gather at the root — which faithfully
+// reproduces master incast serialization. Under an active fault plan every
+// collective falls back to flat survivor-aware topologies (a tree that
+// forwards through a dead interior rank would strand its subtree). All
+// ranks of a job must call collectives in the same order, as in MPI; with
+// the protocol verifier on (the default), that rule — plus tag
+// registration and typed-payload conformance — is enforced at run time
+// (see verifier.h).
 #pragma once
 
 #include <cstdint>

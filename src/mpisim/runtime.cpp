@@ -1,10 +1,14 @@
 #include "mpisim/runtime.h"
 
 #include <exception>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <system_error>
 #include <thread>
+#include <utility>
 
+#include "mpisim/event_loop.h"
 #include "mpisim/verifier.h"
 #include "mpisim/world.h"
 
@@ -28,6 +32,117 @@ sim::Time RunReport::phase_of(int rank, const std::string& phase) const {
   return 0.0;
 }
 
+namespace {
+
+/// State shared by the per-rank bodies of one job, on either backend.
+struct JobState {
+  World& world;
+  const std::function<void(Process&)>& rank_fn;
+  RunReport& report;
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+};
+
+/// One rank's whole life, backend-independent. `gate` is the threaded
+/// cooperative scheduler (rank_begin/finish pair) or null under the event
+/// backend, where being resumed is being scheduled. Never throws: rank
+/// errors land in `job.first_error` and poison the world.
+void rank_body(JobState& job, int rank, ScheduleHook* gate) {
+  World& world = job.world;
+  set_thread_check_context(world.race(), rank);
+  if (gate != nullptr) gate->rank_begin(rank);
+  Process proc(rank, world);
+  bool crashed = false;
+  try {
+    job.rank_fn(proc);
+  } catch (const RankCrash& c) {
+    // An injected crash is a simulated event, not a job error: retire
+    // the rank (seals its mailbox, notifies rank 0 and the verifier)
+    // and let the survivors run on.
+    crashed = true;
+    world.crash_rank(rank, c.when);
+  } catch (...) {
+    {
+      std::lock_guard lock(job.error_mu);
+      if (!job.first_error) job.first_error = std::current_exception();
+    }
+    world.abort();
+  }
+  // The rank is no longer live; the verifier may now find the remaining
+  // ranks deadlocked (it poisons them with the report — this path must
+  // not throw, as it runs outside the try block above). A crashed rank
+  // was already retired by crash_rank.
+  if (!crashed) {
+    if (ProtocolVerifier* v = world.verifier()) v->on_rank_done(rank);
+  }
+  auto& rr = job.report.ranks[static_cast<std::size_t>(rank)];
+  rr.rank = rank;
+  rr.phases = proc.phases();  // flushes the open phase
+  rr.final_clock = proc.now();
+  rr.bytes_sent = proc.bytes_sent();
+  rr.messages_sent = proc.messages_sent();
+  rr.crashed = crashed;
+  // Release the run token last: everything above runs scheduled, so the
+  // whole body — including error paths — stays deterministic.
+  if (gate != nullptr) gate->finish(rank);
+  clear_thread_check_context();
+}
+
+/// Thread-per-rank backend: one OS thread per rank, go/no-go gated so a
+/// failed thread creation cancels cleanly before any rank body runs
+/// (otherwise a partial world wedges — rank 0 blocks forever on peers
+/// that never existed, and a cooperative scheduler's start gate never
+/// opens).
+void run_threads(int nranks, JobState& job, const RunOptions& opts) {
+  std::promise<bool> gate;
+  std::shared_future<bool> go = gate.get_future().share();
+  auto thread_main = [&job, &opts, go](int rank) {
+    if (!go.get()) return;
+    rank_body(job, rank, opts.schedule);
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  try {
+    for (int r = 0; r < nranks; ++r) threads.emplace_back(thread_main, r);
+  } catch (const std::system_error& e) {
+    const int created = static_cast<int>(threads.size());
+    gate.set_value(false);
+    for (auto& t : threads) t.join();
+    throw util::RuntimeError(
+        "mpisim: could not create the thread for rank " +
+        std::to_string(created) + " of a " + std::to_string(nranks) +
+        "-rank world (" + e.what() +
+        "): the thread-per-rank backend needs one OS thread per rank and "
+        "likely hit a process/system thread limit (see `ulimit -u`, "
+        "/proc/sys/kernel/threads-max, or cgroup pids.max) — rerun with "
+        "exec_model=events (--exec-model events), which multiplexes every "
+        "rank onto one thread");
+  }
+  gate.set_value(true);
+  for (auto& t : threads) t.join();
+}
+
+/// Event backend: every rank is a stackful fiber on this thread; a
+/// ScheduleHook in opts.schedule becomes the loop's decision delegate.
+void run_events(int nranks, JobState& job, const RunOptions& opts) {
+  EventLoop::Options lo;
+  lo.stack_bytes = opts.fiber_stack_bytes;
+  lo.delegate = opts.schedule;
+  lo.race = opts.race;
+  EventLoop loop(nranks, lo);
+  World& world = job.world;
+  loop.start(nranks, [&world](const std::string& why) {
+    for (int r = 0; r < world.size(); ++r)
+      world.mailbox(r).poison(why, /*verify_failure=*/true);
+  });
+  // The loop replaces opts.schedule as the World's hook: mailboxes route
+  // block/wake to it and Process yields through it.
+  world.set_schedule(&loop);
+  loop.run([&job](int rank) { rank_body(job, rank, /*gate=*/nullptr); });
+}
+
+}  // namespace
+
 RunReport run(int nranks, const sim::ClusterConfig& cluster,
               const std::function<void(Process&)>& rank_fn,
               const RunOptions& opts) {
@@ -35,10 +150,13 @@ RunReport run(int nranks, const sim::ClusterConfig& cluster,
   World world(nranks, cluster);
   world.set_tracer(opts.tracer);
   world.set_fault_plan(opts.faults);
-  if (opts.schedule != nullptr) {
+  const bool events = opts.exec_model == ExecModel::kEvents;
+  if (opts.schedule != nullptr && !events) {
     // The stuck handler covers the verifier-off case: when the scheduler
     // finds no runnable rank but blocked ones remain, it wakes them all
-    // with the report so the job unwinds instead of hanging.
+    // with the report so the job unwinds instead of hanging. (Under the
+    // event backend the loop owns this and the hook is only a chooser —
+    // run_events wires it.)
     opts.schedule->start(nranks, [&world](const std::string& why) {
       for (int r = 0; r < world.size(); ++r)
         world.mailbox(r).poison(why, /*verify_failure=*/true);
@@ -57,56 +175,15 @@ RunReport run(int nranks, const sim::ClusterConfig& cluster,
   }
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(nranks));
+  JobState job{world, rank_fn, report, {}, nullptr};
 
-  std::mutex error_mu;
-  std::exception_ptr first_error;
+  if (events) {
+    run_events(nranks, job, opts);
+  } else {
+    run_threads(nranks, job, opts);
+  }
 
-  auto body = [&](int rank) {
-    set_thread_check_context(opts.race, rank);
-    if (opts.schedule != nullptr) opts.schedule->rank_begin(rank);
-    Process proc(rank, world);
-    bool crashed = false;
-    try {
-      rank_fn(proc);
-    } catch (const RankCrash& c) {
-      // An injected crash is a simulated event, not a job error: retire
-      // the rank (seals its mailbox, notifies rank 0 and the verifier)
-      // and let the survivors run on.
-      crashed = true;
-      world.crash_rank(rank, c.when);
-    } catch (...) {
-      {
-        std::lock_guard lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-      world.abort();
-    }
-    // The rank is no longer live; the verifier may now find the remaining
-    // ranks deadlocked (it poisons them with the report — this path must
-    // not throw, as it runs outside the try block above). A crashed rank
-    // was already retired by crash_rank.
-    if (!crashed) {
-      if (ProtocolVerifier* v = world.verifier()) v->on_rank_done(rank);
-    }
-    auto& rr = report.ranks[static_cast<std::size_t>(rank)];
-    rr.rank = rank;
-    rr.phases = proc.phases();  // flushes the open phase
-    rr.final_clock = proc.now();
-    rr.bytes_sent = proc.bytes_sent();
-    rr.messages_sent = proc.messages_sent();
-    rr.crashed = crashed;
-    // Release the run token last: everything above runs scheduled, so the
-    // whole body — including error paths — stays deterministic.
-    if (opts.schedule != nullptr) opts.schedule->finish(rank);
-    clear_thread_check_context();
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) threads.emplace_back(body, r);
-  for (auto& t : threads) t.join();
-
-  if (first_error) std::rethrow_exception(first_error);
+  if (job.first_error) std::rethrow_exception(job.first_error);
   if (ProtocolVerifier* v = world.verifier()) v->check_leaks();
   return report;
 }

@@ -1,16 +1,24 @@
-// Job launcher: runs a rank function on N host threads sharing one World.
+// Job launcher: runs a rank function on N simulated processes sharing one
+// World.
 //
 // This is the simulated analogue of `mpirun -np N`: each rank executes the
 // same function with its own Process context; the runtime collects final
 // clocks and phase buckets into a RunReport. If any rank throws, the job is
 // poisoned (all blocked receives unwind) and the first exception is
 // rethrown to the caller.
+//
+// Ranks execute under one of two backends (RunOptions::exec_model): one OS
+// thread per rank, or stackful fibers multiplexed on one scheduler thread
+// (see exec.h and event_loop.h). Both produce identical driver output; the
+// event backend is what makes multi-thousand-rank worlds practical.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "mpisim/exec.h"
 #include "mpisim/fault.h"
 #include "mpisim/process.h"
 #include "mpisim/verify.h"
@@ -36,6 +44,14 @@ struct RunOptions {
   ScheduleHook* schedule = nullptr;
   /// Happens-before race detector (not owned; must outlive the run).
   RaceHook* race = nullptr;
+  /// Rank execution backend. kThreads spawns one OS thread per rank;
+  /// kEvents multiplexes every rank as a stackful fiber on the calling
+  /// thread (required in practice beyond a few hundred ranks). Under
+  /// kEvents a ScheduleHook in `schedule` is driven through its
+  /// inline_*() protocol as a decision chooser over the native loop.
+  ExecModel exec_model = ExecModel::kThreads;
+  /// Per-rank fiber stack reservation under kEvents (lazily committed).
+  std::size_t fiber_stack_bytes = kDefaultFiberStackBytes;
 };
 
 /// Per-rank results collected after the rank function returns.

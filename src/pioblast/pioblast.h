@@ -39,6 +39,7 @@
 #include "blast/driver.h"
 #include "blast/job.h"
 #include "driver/scheduler.h"
+#include "mpisim/exec.h"
 #include "mpisim/fault.h"
 #include "mpisim/hooks.h"
 #include "mpisim/trace.h"
@@ -87,6 +88,9 @@ struct PioBlastOptions {
   /// detector. Set by the CLI's --check/--schedule modes and by tests.
   mpisim::ScheduleHook* schedule = nullptr;
   mpisim::RaceHook* race = nullptr;
+  /// Rank execution backend (mpisim/exec.h): threads (default) or the
+  /// single-threaded fiber event loop. The CLI's --exec-model flag.
+  mpisim::ExecModel exec = mpisim::ExecModel::kThreads;
 };
 
 /// Runs pioBLAST with `nprocs` simulated processes (1 master + workers)

@@ -199,6 +199,120 @@ TEST(MpisimFault, CrashAndRecoveryEventsAreTraced) {
   EXPECT_TRUE(saw_fault);
 }
 
+// ---------- collectives with crashed participants --------------------------
+
+TEST(CollectiveFault, CrashedInteriorRankDoesNotStrandCollectives) {
+  // Non-power-of-two world with a mid-tree rank dead: under a fault plan
+  // the collectives fall back to flat survivor-aware topologies, so no
+  // survivor ever waits on a non-root peer. Barrier, bcast, and the
+  // allreduce must all complete, with the victim simply absent from the
+  // reduction.
+  const int nranks = 6, victim = 3;
+  mpisim::RunOptions opts;
+  opts.faults.at(victim).crash_at = 1;  // dies at its first collective send
+  std::vector<sim::Time> reduced(static_cast<std::size_t>(nranks), -1);
+  std::vector<std::size_t> bcast_len(static_cast<std::size_t>(nranks), 0);
+  const auto report = mpisim::run(
+      nranks, altix(),
+      [&](mpisim::Process& p) {
+        try {
+          p.barrier();
+        } catch (const mpisim::PeerLostError&) {
+          ADD_FAILURE() << "barrier raised PeerLostError on rank "
+                        << p.rank();
+        }
+        std::vector<std::uint8_t> blob;
+        if (p.is_root()) blob.assign(16, 0xC3);
+        p.bcast(blob, 0);
+        bcast_len[static_cast<std::size_t>(p.rank())] = blob.size();
+        reduced[static_cast<std::size_t>(p.rank())] =
+            p.allreduce_max(static_cast<sim::Time>(10 + p.rank()));
+      },
+      opts);
+  EXPECT_TRUE(report.ranks[victim].crashed);
+  for (int r = 0; r < nranks; ++r) {
+    if (r == victim) continue;
+    EXPECT_EQ(bcast_len[static_cast<std::size_t>(r)], 16u) << "rank " << r;
+    // Max over survivors: the victim's 13 never contributes, 15 wins.
+    EXPECT_EQ(reduced[static_cast<std::size_t>(r)],
+              static_cast<sim::Time>(10 + nranks - 1))
+        << "rank " << r;
+  }
+}
+
+TEST(CollectiveFault, CrashedReductionWinnerDropsOutOfMax) {
+  // The victim would have held the maximum; survivors must agree on the
+  // runner-up, not hang waiting for the dead contributor.
+  const int nranks = 5, victim = 4;
+  mpisim::RunOptions opts;
+  opts.faults.at(victim).crash_at = 1;
+  std::vector<sim::Time> reduced(static_cast<std::size_t>(nranks), -1);
+  mpisim::run(
+      nranks, altix(),
+      [&](mpisim::Process& p) {
+        reduced[static_cast<std::size_t>(p.rank())] =
+            p.allreduce_max(static_cast<sim::Time>(p.rank()));
+      },
+      opts);
+  for (int r = 0; r < nranks - 1; ++r) {
+    EXPECT_EQ(reduced[static_cast<std::size_t>(r)],
+              static_cast<sim::Time>(victim - 1))
+        << "rank " << r;
+  }
+}
+
+TEST(CollectiveFault, CrashedBcastRootSurfacesPeerLostNotDeadlock) {
+  // A dead root is unrecoverable for a bcast — there is nothing to
+  // broadcast — but the failure mode must be a clean PeerLostError at
+  // every receiver, never a hang. (FaultPlan forbids killing rank 0, so
+  // the root here is rank 1.)
+  const int nranks = 4, root = 1;
+  mpisim::RunOptions opts;
+  opts.faults.at(root).crash_at = 1;  // dies at its first bcast send
+  std::vector<int> lost_peer(static_cast<std::size_t>(nranks), -1);
+  const auto report = mpisim::run(
+      nranks, altix(),
+      [&](mpisim::Process& p) {
+        std::vector<std::uint8_t> blob;
+        if (p.rank() == root) blob.assign(8, 0x7E);
+        try {
+          p.bcast(blob, root);
+          if (p.rank() != root)
+            ADD_FAILURE() << "rank " << p.rank()
+                          << " got a bcast from a dead root";
+        } catch (const mpisim::PeerLostError& e) {
+          lost_peer[static_cast<std::size_t>(p.rank())] = e.peer();
+        }
+      },
+      opts);
+  EXPECT_TRUE(report.ranks[root].crashed);
+  for (int r = 0; r < nranks; ++r) {
+    if (r == root) continue;
+    EXPECT_EQ(lost_peer[static_cast<std::size_t>(r)], root) << "rank " << r;
+  }
+}
+
+TEST(CollectiveFault, CrashedGatherRootLeavesSendersUnblocked) {
+  // Sends to a sealed mailbox vanish, so contributors to a dead gather
+  // root must sail through (their send is non-blocking) and the job must
+  // terminate cleanly.
+  const int nranks = 5, root = 2;
+  mpisim::RunOptions opts;
+  opts.faults.at(root).crash_at = 1;
+  const auto report = mpisim::run(
+      nranks, altix(),
+      [&](mpisim::Process& p) {
+        const std::uint8_t byte = static_cast<std::uint8_t>(p.rank());
+        p.gather(std::span(&byte, 1), root);
+      },
+      opts);
+  EXPECT_TRUE(report.ranks[root].crashed);
+  for (int r = 0; r < nranks; ++r) {
+    if (r == root) continue;
+    EXPECT_FALSE(report.ranks[static_cast<std::size_t>(r)].crashed);
+  }
+}
+
 // ---------- fault-tolerant serve_work --------------------------------------
 
 struct ServeWorkRun {

@@ -138,6 +138,10 @@ int main(int argc, char** argv) {
       .add("schedule", "",
            "replay one forced schedule (a comma-separated rank trace as "
            "printed by a failing --check run)")
+      .add("exec-model", "threads",
+           "rank execution backend: threads (one OS thread per rank) | "
+           "events (stackful fibers on one thread; required in practice "
+           "for worlds beyond a few hundred ranks)")
       .add_flag("early-score-broadcast", "enable the §5 pruning extension")
       .add_flag("dynamic-scheduling", "greedy range scheduling (§5)")
       .add_flag("metrics", "print one machine-readable METRICS line per run")
@@ -198,6 +202,7 @@ int main(int argc, char** argv) {
 
   const std::string driver = args.get("driver");
   const bool verify = args.get("verify") != "off";
+  const mpisim::ExecModel exec = mpisim::parse_exec_model(args.get("exec-model"));
   mpisim::FaultPlan faults;
   if (!args.get("fault").empty()) {
     faults = mpisim::FaultPlan::parse(args.get("fault"));
@@ -231,6 +236,7 @@ int main(int argc, char** argv) {
     opts.fragment_ranges = parts.ranges;
     opts.global_index = parts.global_index;
     opts.faults = faults;
+    opts.exec = exec;
     if (!args.get("scheduler").empty())
       opts.scheduler = driver::parse_scheduler(args.get("scheduler"));
     blast::DriverResult result;
@@ -262,6 +268,7 @@ int main(int argc, char** argv) {
     opts.early_score_broadcast = args.get_flag("early-score-broadcast");
     opts.dynamic_scheduling = args.get_flag("dynamic-scheduling");
     opts.faults = faults;
+    opts.exec = exec;
     if (!args.get("scheduler").empty())
       opts.scheduler = driver::parse_scheduler(args.get("scheduler"));
     blast::DriverResult result;
