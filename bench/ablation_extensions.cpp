@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   }
   for (int aggs : {1, 2, 8, 16}) {
     pio::PioBlastOptions opts;
-    opts.collective.aggregators = aggs;
+    opts.hints.cb_nodes = aggs;
     add("aggregators=" + std::to_string(aggs),
         bench::run_pioblast_job(cluster, nprocs, db, queries, job, opts));
   }

@@ -28,6 +28,19 @@ inline constexpr std::string_view kMetricTasksAssigned = "tasks_assigned";
 inline constexpr std::string_view kMetricWireBytes = "wire_bytes_sent";
 inline constexpr std::string_view kMetricWireMessages = "wire_messages_sent";
 
+// pario v2 list-I/O counters (emitted by runs that fetch fragment ranges
+// through driver::read_fragment_ranges): how many ranges were requested,
+// how many device reads actually reached the storage model after request
+// merging and data sieving, and the wanted-vs-transferred byte volumes
+// (bytes_read > bytes_wanted means sieving paid for bridged holes).
+inline constexpr std::string_view kMetricParioListRequests =
+    "pario_list_requests";
+inline constexpr std::string_view kMetricParioDeviceReads =
+    "pario_device_reads";
+inline constexpr std::string_view kMetricParioBytesWanted =
+    "pario_bytes_wanted";
+inline constexpr std::string_view kMetricParioBytesRead = "pario_bytes_read";
+
 // Fault-tolerance counters (only emitted by fault-tolerant runs).
 inline constexpr std::string_view kMetricTasksReassigned = "tasks_reassigned";
 inline constexpr std::string_view kMetricRanksLost = "ranks_lost";

@@ -1,0 +1,38 @@
+// Fragment-range fetching through the pario v2 list-I/O path.
+//
+// A worker's input stage is a request list against the three shared volume
+// files: per virtual fragment, one psq range (residues), one phr range
+// (deflines), and two pin ranges (the offset-table slices). Instead of one
+// device read per range — four seeks per fragment, each billed the NFS
+// per-op setup — the lists are handed to pario::list_read, which merges
+// adjacent/overlapping ranges and (hints permitting) data-sieves across
+// small holes, so fragments that are contiguous in the volumes cost one
+// large sequential read per file. With `hints.list_io == false` the reads
+// degenerate to the exact pre-v2 per-range pattern, byte- and
+// virtual-time-identical — the baseline the benchmarks compare against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "driver/metrics.h"
+#include "mpisim/process.h"
+#include "pario/env.h"
+#include "pario/file.h"
+#include "seqdb/formatdb.h"
+#include "seqdb/partition.h"
+
+namespace pioblast::driver {
+
+/// Reads every range of `ranges` from the shared volumes `names` on `fs`
+/// and rebuilds one LoadedFragment per range, in input order.
+/// `concurrency` is the driver's estimate of simultaneous readers (usually
+/// the worker count). When `metrics` is non-null the pario_* counters are
+/// accumulated into it.
+std::vector<seqdb::LoadedFragment> read_fragment_ranges(
+    mpisim::Process& p, const pario::VirtualFS& fs,
+    const seqdb::VolumeNames& names, const seqdb::DbIndex& header_view,
+    std::span<const seqdb::FragmentRange> ranges, const pario::Hints& hints,
+    int concurrency, RunMetrics* metrics = nullptr);
+
+}  // namespace pioblast::driver

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -181,12 +182,22 @@ void MpiBlastApp::worker(mpisim::Process& p) {
     }
 
     // Search stage. NCBI BLAST maps the volumes into memory, so the
-    // input I/O is embedded in the search phase.
+    // input I/O is embedded in the search phase. The reads go through the
+    // pario list-I/O entry point so --pario-hints tunes both drivers; a
+    // whole-file read is a single contiguous request, so merging/sieving
+    // are no-ops and the charge matches the historical timed_read_all.
     p.set_phase("search");
+    pario::ListIoStats io_stats;
     for (const std::string& file : {names.index, names.sequence, names.header}) {
-      (void)pario::timed_read_all(
-          p, local, file, storage().has_local_disks() ? 1 : nworkers());
+      const pario::Region whole{0, local.size(file)};
+      (void)pario::list_read(p, local, file, std::span(&whole, 1), opts_.hints,
+                             storage().has_local_disks() ? 1 : nworkers(),
+                             &io_stats);
     }
+    metrics().add(driver::kMetricParioListRequests, io_stats.requests);
+    metrics().add(driver::kMetricParioDeviceReads, io_stats.reads_issued);
+    metrics().add(driver::kMetricParioBytesWanted, io_stats.bytes_wanted);
+    metrics().add(driver::kMetricParioBytesRead, io_stats.bytes_read);
     const std::uint64_t first_seq =
         opts_.fragment_ranges[static_cast<std::size_t>(*assignment)].first;
     stage.add_fragment(seqdb::load_volumes(local, frag_base, type, first_seq));

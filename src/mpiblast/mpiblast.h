@@ -54,6 +54,11 @@ struct MpiBlastOptions {
   std::vector<std::string> fragment_bases;  ///< mpiformatdb outputs, in order
   std::vector<seqdb::SeqRange> fragment_ranges;
   seqdb::DbIndex global_index;
+  /// MPI-IO-style access hints (pario/env.h). The baseline's volume reads
+  /// are whole-file and contiguous, so only the list-I/O path is
+  /// exercised (merging is a no-op on single whole-file requests); the
+  /// hints exist so the CLI's --pario-hints flag tunes both drivers.
+  pario::Hints hints{};
   /// Fragment-assignment policy. The historical default is the greedy
   /// first-come-first-served master loop; static policies pre-plan the
   /// same request/reply protocol deterministically.

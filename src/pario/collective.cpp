@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <utility>
 
 #include "mpisim/wire.h"
 #include "util/error.h"
@@ -81,15 +82,8 @@ std::vector<std::uint64_t> agree_domains(mpisim::Process& p, const FileView& vie
       glo = 0;
       ghi = 0;
     }
-    std::vector<std::uint64_t> bounds(static_cast<std::size_t>(aggregators) + 1);
-    const std::uint64_t span = ghi - glo;
-    for (int d = 0; d <= aggregators; ++d) {
-      bounds[static_cast<std::size_t>(d)] =
-          glo + span * static_cast<std::uint64_t>(d) /
-                   static_cast<std::uint64_t>(aggregators);
-    }
     mpisim::Encoder benc;
-    benc.put_vector(bounds);
+    benc.put_vector(domain_split(glo, ghi, aggregators));
     boundary_buf = benc.take();
   }
   p.bcast(boundary_buf, /*root=*/0);
@@ -107,7 +101,72 @@ std::size_t domain_of(const std::vector<std::uint64_t>& bounds, std::uint64_t of
   return std::min(idx - 1, ndomains - 1);
 }
 
+/// Number of cb_buffer_size-sized exchange rounds domain `d` needs (at
+/// least one, so empty domains still keep the message pattern balanced).
+/// Every rank derives this from the agreed bounds, so the round structure
+/// is consistent without further coordination.
+std::uint64_t rounds_of(const std::vector<std::uint64_t>& bounds, std::size_t d,
+                        std::uint64_t buffer_size) {
+  const std::uint64_t span = bounds[d + 1] - bounds[d];
+  if (buffer_size == 0 || span == 0) return 1;
+  return (span + buffer_size - 1) / buffer_size;
+}
+
+/// Splits [off, off+len) at domain and round boundaries, invoking
+/// `emit(domain, round, chunk_off, chunk_len)` once per piece in file
+/// order. The last domain (and each domain's last round) is closed on the
+/// right, absorbing any residue beyond its nominal boundary.
+template <typename Emit>
+void for_each_chunk(const std::vector<std::uint64_t>& bounds,
+                    std::uint64_t buffer_size, int naggs, std::uint64_t off,
+                    std::uint64_t len, Emit&& emit) {
+  std::uint64_t left = len;
+  while (left > 0) {
+    const std::size_t d = domain_of(bounds, off);
+    const std::uint64_t dom_end = bounds[d + 1];
+    const bool last_domain =
+        d + 1 == static_cast<std::size_t>(naggs) || dom_end <= off;
+    std::uint64_t limit = last_domain ? off + left
+                                      : std::min(off + left, dom_end);
+    std::uint64_t round = 0;
+    if (buffer_size != 0) {
+      const std::uint64_t nrounds = rounds_of(bounds, d, buffer_size);
+      round = std::min((off - bounds[d]) / buffer_size, nrounds - 1);
+      if (round + 1 < nrounds) {
+        limit = std::min(limit, bounds[d] + (round + 1) * buffer_size);
+      }
+    }
+    const std::uint64_t chunk = limit - off;
+    emit(d, round, off, chunk);
+    off += chunk;
+    left -= chunk;
+  }
+}
+
 }  // namespace
+
+int effective_aggregators(const CollectiveConfig& cfg, int nprocs) {
+  PIOBLAST_CHECK_MSG(cfg.aggregators > 0,
+                     "collective I/O: aggregator count (cb_nodes) must be "
+                     "positive, got "
+                         << cfg.aggregators);
+  return std::min(cfg.aggregators, nprocs);
+}
+
+std::vector<std::uint64_t> domain_split(std::uint64_t lo, std::uint64_t hi,
+                                        int ndomains) {
+  PIOBLAST_CHECK_MSG(ndomains >= 1, "domain_split: need >= 1 domain");
+  PIOBLAST_CHECK_MSG(lo <= hi, "domain_split: inverted span");
+  const std::uint64_t span = hi - lo;
+  const auto n = static_cast<std::uint64_t>(ndomains);
+  const std::uint64_t base = span / n;
+  const std::uint64_t rem = span % n;
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(ndomains) + 1);
+  for (std::uint64_t d = 0; d <= n; ++d) {
+    bounds[static_cast<std::size_t>(d)] = lo + d * base + std::min(d, rem);
+  }
+  return bounds;
+}
 
 FileView::FileView(std::vector<Region> regions) : regions_(std::move(regions)) {
   for (std::size_t i = 1; i < regions_.size(); ++i) {
@@ -141,7 +200,7 @@ std::uint64_t collective_write(mpisim::Process& p, VirtualFS& fs,
                                                       << " != view extent "
                                                       << view.extent());
   const int nprocs = p.size();
-  const int naggs = std::max(1, std::min(cfg.aggregators, nprocs));
+  const int naggs = effective_aggregators(cfg, nprocs);
 
   // Fault-tolerant runs agree on a liveness snapshot first; once any
   // participant is lost the two-phase exchange (whose round structure
@@ -169,67 +228,77 @@ std::uint64_t collective_write(mpisim::Process& p, VirtualFS& fs,
 
   const auto bounds = agree_domains(p, view, naggs);
 
-  // ---- phase 1: split regions across aggregator file domains -------------
-  std::vector<mpisim::Encoder> batches(static_cast<std::size_t>(naggs));
+  // ---- phase 1: split regions across aggregator file domains, chunked
+  // into cb_buffer_size exchange rounds per domain ------------------------
+  std::vector<std::vector<mpisim::Encoder>> batches(
+      static_cast<std::size_t>(naggs));
+  for (int d = 0; d < naggs; ++d) {
+    batches[static_cast<std::size_t>(d)].resize(
+        rounds_of(bounds, static_cast<std::size_t>(d), cfg.buffer_size));
+  }
   std::uint64_t buf_pos = 0;
   for (const Region& r : view.regions()) {
-    std::uint64_t off = r.offset;
-    std::uint64_t left = r.length;
-    while (left > 0) {
-      const std::size_t d = domain_of(bounds, off);
-      const std::uint64_t dom_end = bounds[d + 1];
-      // The last domain is closed on the right; others are half-open.
-      const std::uint64_t chunk =
-          (d + 1 == static_cast<std::size_t>(naggs) || dom_end <= off)
-              ? left
-              : std::min(left, dom_end - off);
-      batches[d].put<std::uint64_t>(off);
-      batches[d].put_bytes(data.subspan(buf_pos, chunk));
-      off += chunk;
-      buf_pos += chunk;
-      left -= chunk;
-    }
+    for_each_chunk(bounds, cfg.buffer_size, naggs, r.offset, r.length,
+                   [&](std::size_t d, std::uint64_t round, std::uint64_t off,
+                       std::uint64_t chunk) {
+                     batches[d][round].put<std::uint64_t>(off);
+                     batches[d][round].put_bytes(data.subspan(buf_pos, chunk));
+                     buf_pos += chunk;
+                   });
   }
 
-  // Exchange: each rank sends one (possibly empty) batch to every
-  // aggregator; its own batch stays local at memory-copy cost.
-  std::vector<std::uint8_t> own_batch;
+  // Exchange: each rank sends one (possibly empty) batch per round to
+  // every aggregator; its own batches stay local at memory-copy cost.
+  // Round k of each aggregator is a complete sub-exchange of at most
+  // cb_buffer_size file-domain bytes, so aggregator memory stays bounded
+  // instead of holding the whole shuffle at once.
+  std::vector<std::vector<std::uint8_t>> own_rounds;
   for (int d = 0; d < naggs; ++d) {
-    auto bytes = batches[static_cast<std::size_t>(d)].take();
-    if (d == p.rank()) {
-      p.compute(p.cost().memcpy_seconds(bytes.size()));
-      own_batch = std::move(bytes);
-    } else {
-      p.send(d, kTagShuffle, bytes);
+    auto& rounds = batches[static_cast<std::size_t>(d)];
+    for (auto& round : rounds) {
+      auto bytes = round.take();
+      if (d == p.rank()) {
+        p.compute(p.cost().memcpy_seconds(bytes.size()));
+        own_rounds.push_back(std::move(bytes));
+      } else {
+        p.send(d, kTagShuffle, bytes);
+      }
     }
   }
 
-  // ---- phase 2: aggregators apply their file domains ---------------------
+  // ---- phase 2: aggregators apply their file domains round by round ------
   if (p.rank() < naggs) {
-    std::uint64_t domain_bytes = 0;
-    for (int r = 0; r < nprocs; ++r) {
-      std::vector<std::uint8_t> batch;
-      if (r == p.rank()) {
-        batch = std::move(own_batch);
-      } else {
-        try {
-          batch = p.recv(r, kTagShuffle).payload;
-        } catch (const mpisim::PeerLostError&) {
-          // Rank died between the liveness sync and its shuffle send; its
-          // contribution is lost but the survivors' data still lands.
+    const std::uint64_t nrounds = rounds_of(
+        bounds, static_cast<std::size_t>(p.rank()), cfg.buffer_size);
+    for (std::uint64_t k = 0; k < nrounds; ++k) {
+      std::uint64_t round_bytes = 0;
+      for (int r = 0; r < nprocs; ++r) {
+        std::vector<std::uint8_t> batch;
+        if (r == p.rank()) {
+          batch = std::move(own_rounds[k]);
+        } else {
+          try {
+            batch = p.recv(r, kTagShuffle).payload;
+          } catch (const mpisim::PeerLostError&) {
+            // Rank died between the liveness sync and this round's send;
+            // its contribution is lost but the survivors' data still
+            // lands.
+          }
+        }
+        mpisim::Decoder dec(batch);
+        while (!dec.exhausted()) {
+          const auto off = dec.get<std::uint64_t>();
+          const auto chunk = dec.get_bytes();
+          fs.pwrite(path, off, chunk);
+          round_bytes += chunk.size();
         }
       }
-      mpisim::Decoder dec(batch);
-      while (!dec.exhausted()) {
-        const auto off = dec.get<std::uint64_t>();
-        const auto chunk = dec.get_bytes();
-        fs.pwrite(path, off, chunk);
-        domain_bytes += chunk.size();
+      // Large sequential write of this round's coalesced sub-domain,
+      // concurrent with the other aggregators.
+      if (round_bytes > 0) {
+        p.io_wait(fs.model().write_seconds(round_bytes, naggs));
       }
     }
-    // Large sequential write of the coalesced domain, concurrent with the
-    // other aggregators.
-    p.io_wait(fs.model().write_seconds(domain_bytes, naggs));
   }
 
   p.barrier();
@@ -241,7 +310,7 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
                                           const FileView& view,
                                           const CollectiveConfig& cfg) {
   const int nprocs = p.size();
-  const int naggs = std::max(1, std::min(cfg.aggregators, nprocs));
+  const int naggs = effective_aggregators(cfg, nprocs);
 
   // Same degraded path as collective_write: with a participant lost, the
   // survivors read their own regions independently.
@@ -268,7 +337,7 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
 
   const auto bounds = agree_domains(p, view, naggs);
 
-  // ---- build per-aggregator request lists --------------------------------
+  // ---- build per-aggregator request lists, chunked at round boundaries ---
   struct Want {
     std::uint64_t file_off;
     std::uint64_t buf_pos;
@@ -277,20 +346,12 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
   std::vector<std::vector<Want>> wants(static_cast<std::size_t>(naggs));
   std::uint64_t buf_pos = 0;
   for (const Region& r : view.regions()) {
-    std::uint64_t off = r.offset;
-    std::uint64_t left = r.length;
-    while (left > 0) {
-      const std::size_t d = domain_of(bounds, off);
-      const std::uint64_t dom_end = bounds[d + 1];
-      const std::uint64_t chunk =
-          (d + 1 == static_cast<std::size_t>(naggs) || dom_end <= off)
-              ? left
-              : std::min(left, dom_end - off);
-      wants[d].push_back({off, buf_pos, chunk});
-      off += chunk;
-      buf_pos += chunk;
-      left -= chunk;
-    }
+    for_each_chunk(bounds, cfg.buffer_size, naggs, r.offset, r.length,
+                   [&](std::size_t d, std::uint64_t, std::uint64_t off,
+                       std::uint64_t chunk) {
+                     wants[d].push_back({off, buf_pos, chunk});
+                     buf_pos += chunk;
+                   });
   }
 
   std::vector<std::vector<Want>> local_requests(static_cast<std::size_t>(nprocs));
@@ -308,10 +369,19 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
 
   std::vector<std::uint8_t> out(view.extent());
 
-  // ---- aggregators serve their domains ------------------------------------
+  // ---- aggregators serve their domains round by round ----------------------
   if (p.rank() < naggs) {
-    std::uint64_t served = 0;
-    std::vector<std::pair<int, mpisim::Encoder>> responses;
+    const auto self = static_cast<std::size_t>(p.rank());
+    const std::uint64_t nrounds = rounds_of(bounds, self, cfg.buffer_size);
+    // Collect each requester's wants, grouped by exchange round.
+    std::vector<std::vector<std::vector<Want>>> by_round(
+        static_cast<std::size_t>(nprocs));
+    for (auto& rounds : by_round)
+      rounds.resize(static_cast<std::size_t>(nrounds));
+    auto round_of = [&](std::uint64_t off) -> std::uint64_t {
+      if (cfg.buffer_size == 0) return 0;
+      return std::min((off - bounds[self]) / cfg.buffer_size, nrounds - 1);
+    };
     for (int r = 0; r < nprocs; ++r) {
       std::vector<Want> reqs;
       if (r == p.rank()) {
@@ -329,49 +399,56 @@ std::vector<std::uint8_t> collective_read(mpisim::Process& p, const VirtualFS& f
           }
         } catch (const mpisim::PeerLostError&) {
           // Requester died mid-collective: serve nobody's nothing; the
-          // (empty) response below lands in its sealed mailbox.
+          // (empty) responses below land in its sealed mailbox.
         }
       }
-      mpisim::Encoder resp;
-      for (const Want& w : reqs) {
-        auto bytes = fs.pread(path, w.file_off, w.len);
-        served += w.len;
-        if (r == p.rank()) {
-          std::memcpy(out.data() + w.buf_pos, bytes.data(), bytes.size());
-        } else {
-          resp.put(w.buf_pos).put_bytes(bytes);
-        }
-      }
-      if (r != p.rank()) responses.emplace_back(r, std::move(resp));
+      for (const Want& w : reqs)
+        by_round[static_cast<std::size_t>(r)][round_of(w.file_off)].push_back(w);
     }
-    // One large concurrent read of the domain, then fan the data out.
-    p.io_wait(fs.model().read_seconds(served, naggs));
-    for (auto& [r, resp] : responses) p.send(r, kTagReadResp, resp.bytes());
+    // One bounded sub-domain read per round, then fan that round's data
+    // out before touching the next — aggregator memory never exceeds
+    // cb_buffer_size plus the in-flight responses.
+    for (std::uint64_t k = 0; k < nrounds; ++k) {
+      std::uint64_t served = 0;
+      std::vector<std::pair<int, mpisim::Encoder>> responses;
+      for (int r = 0; r < nprocs; ++r) {
+        mpisim::Encoder resp;
+        for (const Want& w : by_round[static_cast<std::size_t>(r)][k]) {
+          auto bytes = fs.pread(path, w.file_off, w.len);
+          served += w.len;
+          if (r == p.rank()) {
+            std::memcpy(out.data() + w.buf_pos, bytes.data(), bytes.size());
+          } else {
+            resp.put(w.buf_pos).put_bytes(bytes);
+          }
+        }
+        if (r != p.rank()) responses.emplace_back(r, std::move(resp));
+      }
+      if (served > 0) p.io_wait(fs.model().read_seconds(served, naggs));
+      for (auto& [r, resp] : responses) p.send(r, kTagReadResp, resp.bytes());
+    }
   }
 
-  // ---- requesters assemble their buffers ----------------------------------
+  // ---- requesters assemble their buffers, one message per round ------------
   for (int d = 0; d < naggs; ++d) {
     if (d == p.rank()) continue;
-    mpisim::Message msg;
-    try {
-      msg = p.recv(d, kTagReadResp);
-    } catch (const mpisim::PeerLostError&) {
-      // Aggregator died mid-collective: its domain's bytes are
-      // unrecoverable this round; the affected buffer slice stays
-      // zero-filled.
-      continue;
-    }
-    mpisim::Decoder dec(msg.payload);
-    if (wants[static_cast<std::size_t>(d)].empty()) {
-      // The (empty) response still had to be drained to keep the exchange
-      // balanced.
-      PIOBLAST_CHECK(dec.exhausted());
-      continue;
-    }
-    while (!dec.exhausted()) {
-      const auto pos = dec.get<std::uint64_t>();
-      const auto bytes = dec.get_bytes();
-      std::memcpy(out.data() + pos, bytes.data(), bytes.size());
+    const std::uint64_t nrounds =
+        rounds_of(bounds, static_cast<std::size_t>(d), cfg.buffer_size);
+    for (std::uint64_t k = 0; k < nrounds; ++k) {
+      mpisim::Message msg;
+      try {
+        msg = p.recv(d, kTagReadResp);
+      } catch (const mpisim::PeerLostError&) {
+        // Aggregator died mid-collective: this round's bytes are
+        // unrecoverable; the affected buffer slices stay zero-filled.
+        continue;
+      }
+      mpisim::Decoder dec(msg.payload);
+      while (!dec.exhausted()) {
+        const auto pos = dec.get<std::uint64_t>();
+        const auto bytes = dec.get_bytes();
+        std::memcpy(out.data() + pos, bytes.data(), bytes.size());
+      }
     }
   }
 

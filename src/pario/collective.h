@@ -57,10 +57,34 @@ class FileView {
   std::vector<Region> regions_;
 };
 
-/// Tuning knobs for the two-phase exchange.
+/// Tuning knobs for the two-phase exchange. Usually derived from
+/// pario::Hints (env.h), whose `cb_nodes` / `cb_buffer_size` fields mirror
+/// ROMIO's hint names.
 struct CollectiveConfig {
   int aggregators = 4;  ///< number of aggregator ranks (cb_nodes in ROMIO)
+  /// Per-aggregator exchange-buffer size: the shuffle is chunked into
+  /// rounds of at most this much file-domain data per aggregator, bounding
+  /// aggregator memory exactly like ROMIO's cb_buffer_size. 0 = one
+  /// unbounded round.
+  std::uint64_t buffer_size = 256 * 1024;
 };
+
+/// Effective aggregator count for a world of `nprocs` ranks:
+/// cfg.aggregators clamped down to the world size. Shared by
+/// collective_write and collective_read so the two paths can never drift
+/// (the verifier's tag audit relies on them agreeing). cfg.aggregators
+/// must be positive — a non-positive hint is a caller bug, reported
+/// loudly instead of silently clamped.
+int effective_aggregators(const CollectiveConfig& cfg, int nprocs);
+
+/// Splits the byte span [lo, hi) into `ndomains` aggregator file domains,
+/// spreading the remainder over the leading domains so sizes differ by at
+/// most one byte (never a division-rounded runt last domain). Returns the
+/// ndomains+1 boundaries; when the span is smaller than `ndomains` the
+/// trailing domains are empty (zero-width) rather than degenerate.
+/// Exposed for the domain-bound regression tests.
+std::vector<std::uint64_t> domain_split(std::uint64_t lo, std::uint64_t hi,
+                                        int ndomains);
 
 /// Collectively writes each rank's `data` through its `view` into `path` on
 /// `fs`. Every rank of the job must call this (empty views are fine).

@@ -1,5 +1,10 @@
 #include "pario/file.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "pario/env.h"
+
 namespace pioblast::pario {
 
 std::vector<std::uint8_t> timed_read(mpisim::Process& p, const VirtualFS& fs,
@@ -7,6 +12,15 @@ std::vector<std::uint8_t> timed_read(mpisim::Process& p, const VirtualFS& fs,
                                      std::uint64_t len, int concurrency) {
   p.io_wait(fs.model().read_seconds(len, concurrency));
   return fs.pread(path, offset, len);
+}
+
+std::vector<std::uint8_t> timed_read_upto(mpisim::Process& p, const VirtualFS& fs,
+                                          const std::string& path,
+                                          std::uint64_t offset, std::uint64_t len,
+                                          int concurrency) {
+  auto bytes = fs.pread_upto(path, offset, len);
+  p.io_wait(fs.model().read_seconds(bytes.size(), concurrency));
+  return bytes;
 }
 
 std::vector<std::uint8_t> timed_read_all(mpisim::Process& p, const VirtualFS& fs,
@@ -31,6 +45,142 @@ void timed_copy(mpisim::Process& p, const VirtualFS& src_fs,
   auto data = src_fs.read_all(src_path);
   p.io_wait(dst_fs.model().write_seconds(len, concurrency));
   dst_fs.write_all(dst_path, data);
+}
+
+std::vector<Region> merge_regions(std::span<const Region> regions) {
+  std::vector<Region> sorted;
+  sorted.reserve(regions.size());
+  for (const Region& r : regions)
+    if (r.length > 0) sorted.push_back(r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Region& a, const Region& b) { return a.offset < b.offset; });
+  std::vector<Region> runs;
+  for (const Region& r : sorted) {
+    if (!runs.empty() && r.offset <= runs.back().offset + runs.back().length) {
+      Region& run = runs.back();
+      run.length = std::max(run.offset + run.length, r.offset + r.length) -
+                   run.offset;
+    } else {
+      runs.push_back(r);
+    }
+  }
+  return runs;
+}
+
+namespace {
+
+/// One device read covering >= 1 requests, possibly bridging holes.
+struct Window {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;     ///< exclusive; end - start is the device read
+  std::uint64_t useful = 0;  ///< bytes some request actually wants
+  bool sieved = false;       ///< bridged at least one hole
+};
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> list_read(
+    mpisim::Process& p, const VirtualFS& fs, const std::string& path,
+    std::span<const Region> regions, const Hints& hints, int concurrency,
+    ListIoStats* stats) {
+  ListIoStats local;
+  std::vector<std::vector<std::uint8_t>> out(regions.size());
+
+  // The naive independent-read path: one exact device read per request, in
+  // input order. This is the pre-v2 behavior and the benchmark baseline.
+  if (!hints.list_io) {
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      const Region& r = regions[i];
+      if (r.length == 0) continue;
+      out[i] = timed_read(p, fs, path, r.offset, r.length, concurrency);
+      local.requests += 1;
+      local.reads_issued += 1;
+      local.bytes_wanted += r.length;
+      local.bytes_read += r.length;
+    }
+    if (stats != nullptr) stats->add(local);
+    return out;
+  }
+
+  // ---- plan device reads: sort requests, merge runs, sieve holes ---------
+  std::vector<std::size_t> order;
+  order.reserve(regions.size());
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (regions[i].length == 0) continue;
+    order.push_back(i);
+    local.requests += 1;
+    local.bytes_wanted += regions[i].length;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return regions[a].offset < regions[b].offset;
+  });
+
+  const bool may_sieve = hints.ds_read != SieveMode::kDisable;
+  std::vector<Window> windows;
+  // Requests assigned to each window, parallel to `windows`.
+  std::vector<std::vector<std::size_t>> members;
+  for (const std::size_t i : order) {
+    const Region& r = regions[i];
+    const std::uint64_t r_end = r.offset + r.length;
+    if (!windows.empty() && r.offset <= windows.back().end) {
+      // Adjacent or overlapping: plain list-I/O merging, always on.
+      Window& w = windows.back();
+      const std::uint64_t overlap = std::min(w.end, r_end) -
+                                    std::min(w.end, r.offset);
+      w.end = std::max(w.end, r_end);
+      w.useful += r.length - overlap;
+      members.back().push_back(i);
+      local.merged_runs += 1;
+      continue;
+    }
+    if (!windows.empty() && may_sieve) {
+      // A hole separates this request from the current window: bridge it
+      // with one covering read when the widened window still fits the
+      // sieve buffer and (in auto mode) stays dense enough to beat the
+      // extra seek it saves.
+      const Window& w = windows.back();
+      const std::uint64_t span = r_end - w.start;
+      const double density = static_cast<double>(w.useful + r.length) /
+                             static_cast<double>(span);
+      const bool fits = span <= hints.ds_buffer_size;
+      const bool dense =
+          hints.ds_read == SieveMode::kEnable || density >= hints.ds_density;
+      if (fits && dense) {
+        Window& back = windows.back();
+        back.end = r_end;
+        back.useful += r.length;
+        back.sieved = true;
+        members.back().push_back(i);
+        continue;
+      }
+    }
+    windows.push_back({r.offset, r_end, r.length, false});
+    members.push_back({i});
+  }
+
+  // ---- issue one device read per window, extract the wanted ranges -------
+  for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+    const Window& w = windows[wi];
+    // Covering reads may over-reach EOF (over-reaching requests do too);
+    // the device returns a short read and the clock is charged for the
+    // bytes actually transferred.
+    const auto buf =
+        timed_read_upto(p, fs, path, w.start, w.end - w.start, concurrency);
+    local.reads_issued += 1;
+    local.bytes_read += buf.size();
+    if (w.sieved) local.sieved_reads += 1;
+    for (const std::size_t i : members[wi]) {
+      const Region& r = regions[i];
+      const std::uint64_t rel = r.offset - w.start;
+      if (rel >= buf.size()) continue;  // request entirely past EOF
+      const std::uint64_t take = std::min(r.length, buf.size() - rel);
+      out[i].assign(buf.begin() + static_cast<std::ptrdiff_t>(rel),
+                    buf.begin() + static_cast<std::ptrdiff_t>(rel + take));
+    }
+  }
+
+  if (stats != nullptr) stats->add(local);
+  return out;
 }
 
 }  // namespace pioblast::pario

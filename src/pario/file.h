@@ -13,14 +13,25 @@
 #include <vector>
 
 #include "mpisim/process.h"
+#include "pario/collective.h"
 #include "pario/vfs.h"
 
 namespace pioblast::pario {
+
+struct Hints;  // env.h; env.h includes this header, so only a fwd decl here
 
 /// Reads [offset, offset+len) from `path`, charging `p`'s clock.
 std::vector<std::uint8_t> timed_read(mpisim::Process& p, const VirtualFS& fs,
                                      const std::string& path, std::uint64_t offset,
                                      std::uint64_t len, int concurrency = 1);
+
+/// Reads up to `len` bytes at `offset` (short at EOF), charging `p`'s
+/// clock for the bytes actually returned — an over-reaching request must
+/// not be billed for bytes the device never transferred.
+std::vector<std::uint8_t> timed_read_upto(mpisim::Process& p, const VirtualFS& fs,
+                                          const std::string& path,
+                                          std::uint64_t offset, std::uint64_t len,
+                                          int concurrency = 1);
 
 /// Reads a whole file, charging `p`'s clock.
 std::vector<std::uint8_t> timed_read_all(mpisim::Process& p, const VirtualFS& fs,
@@ -38,5 +49,53 @@ void timed_write(mpisim::Process& p, VirtualFS& fs, const std::string& path,
 void timed_copy(mpisim::Process& p, const VirtualFS& src_fs,
                 const std::string& src_path, VirtualFS& dst_fs,
                 const std::string& dst_path, int concurrency = 1);
+
+// ---------------------------------------------------------------------------
+// List I/O with request merging and data sieving (pario v2).
+//
+// `list_read` is the noncontiguous independent-read entry point: a request
+// list of (offset, length) regions against one file, answered with one
+// buffer per request. Before touching the device it coalesces
+// adjacent/overlapping requests into runs (list-I/O merging) and — when the
+// hints allow — bridges small holes between runs with one large covering
+// read per window (data sieving, Thakur/Gropp/Lusk), discarding the
+// unwanted bytes. Covering reads may over-reach EOF; they are issued as
+// short reads and billed for the bytes actually returned.
+// ---------------------------------------------------------------------------
+
+/// Device-level accounting for one list_read call.
+struct ListIoStats {
+  std::uint64_t requests = 0;      ///< input regions (len > 0)
+  std::uint64_t reads_issued = 0;  ///< device reads after merge + sieve
+  std::uint64_t bytes_wanted = 0;  ///< sum of requested lengths
+  std::uint64_t bytes_read = 0;    ///< bytes actually pulled off the device
+  std::uint64_t sieved_reads = 0;  ///< device reads that bridged >= 1 hole
+  std::uint64_t merged_runs = 0;   ///< requests absorbed into a prior run
+
+  void add(const ListIoStats& o) {
+    requests += o.requests;
+    reads_issued += o.reads_issued;
+    bytes_wanted += o.bytes_wanted;
+    bytes_read += o.bytes_read;
+    sieved_reads += o.sieved_reads;
+    merged_runs += o.merged_runs;
+  }
+};
+
+/// Coalesces a request list into sorted disjoint runs (adjacent and
+/// overlapping regions merge; zero-length regions drop). Pure helper,
+/// exposed for tests and for callers that only need the merge step.
+std::vector<Region> merge_regions(std::span<const Region> regions);
+
+/// Reads every region of `regions` from `path`, returning one buffer per
+/// input region, in input order (regions may be unsorted and may overlap).
+/// Device access is shaped by `hints` (see file-level comment); with
+/// `hints.list_io == false` each region is one direct device read — the
+/// naive path the benchmarks compare against. `stats`, when non-null, is
+/// accumulated into (not reset).
+std::vector<std::vector<std::uint8_t>> list_read(
+    mpisim::Process& p, const VirtualFS& fs, const std::string& path,
+    std::span<const Region> regions, const Hints& hints, int concurrency = 1,
+    ListIoStats* stats = nullptr);
 
 }  // namespace pioblast::pario

@@ -67,6 +67,18 @@ std::vector<std::uint8_t> VirtualFS::pread(const std::string& path,
           fd->bytes.begin() + static_cast<std::ptrdiff_t>(offset + len)};
 }
 
+std::vector<std::uint8_t> VirtualFS::pread_upto(const std::string& path,
+                                                std::uint64_t offset,
+                                                std::uint64_t len) const {
+  auto fd = get(path);
+  std::lock_guard lock(fd->mu);
+  if (offset >= fd->bytes.size()) return {};
+  const std::uint64_t avail = fd->bytes.size() - offset;
+  const std::uint64_t take = std::min(len, avail);
+  return {fd->bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+          fd->bytes.begin() + static_cast<std::ptrdiff_t>(offset + take)};
+}
+
 std::vector<std::uint8_t> VirtualFS::read_all(const std::string& path) const {
   auto fd = get(path);
   std::lock_guard lock(fd->mu);

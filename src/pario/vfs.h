@@ -54,6 +54,14 @@ class VirtualFS {
   std::vector<std::uint8_t> pread(const std::string& path, std::uint64_t offset,
                                   std::uint64_t len) const;
 
+  /// Reads up to `len` bytes at `offset`, short (possibly empty) at EOF —
+  /// the POSIX pread contract. Sieving's covering reads routinely
+  /// over-reach the file tail; callers charge the virtual clock for the
+  /// bytes actually returned, not the bytes requested.
+  std::vector<std::uint8_t> pread_upto(const std::string& path,
+                                       std::uint64_t offset,
+                                       std::uint64_t len) const;
+
   /// Convenience: reads the whole file.
   std::vector<std::uint8_t> read_all(const std::string& path) const;
 

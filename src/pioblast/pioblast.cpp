@@ -14,6 +14,7 @@
 #include "driver/channel.h"
 #include "driver/master_worker.h"
 #include "driver/messages.h"
+#include "driver/range_reader.h"
 #include "driver/search_stage.h"
 #include "driver/tags.h"
 #include "driver/work_queue.h"
@@ -128,22 +129,15 @@ void PioBlastApp::body(mpisim::Process& p) {
   header_view.type = type;
 
   // Reads one virtual fragment's byte ranges with individual MPI-IO
-  // reads — one contiguous range from every shared database file (paper
-  // §4.1 / §5), all workers in parallel.
+  // reads from every shared database file (paper §4.1 / §5), all workers
+  // in parallel. The v2 list-I/O path merges and sieves the per-file
+  // request lists; with the naive hints it is the historical one read per
+  // range.
   auto read_range = [&](const seqdb::FragmentRange& range) {
-    auto pin_seq =
-        pario::timed_read(p, shared(), names.index, range.pin_seq_off.offset,
-                          range.pin_seq_off.length, nworkers());
-    auto pin_hdr =
-        pario::timed_read(p, shared(), names.index, range.pin_hdr_off.offset,
-                          range.pin_hdr_off.length, nworkers());
-    auto psq = pario::timed_read(p, shared(), names.sequence, range.psq.offset,
-                                 range.psq.length, nworkers());
-    auto phr = pario::timed_read(p, shared(), names.header, range.phr.offset,
-                                 range.phr.length, nworkers());
-    return seqdb::fragment_from_slices(header_view, range, std::move(pin_seq),
-                                       std::move(pin_hdr), std::move(psq),
-                                       std::move(phr));
+    auto frags = driver::read_fragment_ranges(p, shared(), names, header_view,
+                                              std::span(&range, 1), opts_.hints,
+                                              nworkers(), &metrics());
+    return std::move(frags.front());
   };
 
   if (dynamic_) {
@@ -186,7 +180,7 @@ void PioBlastApp::body(mpisim::Process& p) {
             p, shared(), file,
             have ? pario::FileView(std::vector<pario::Region>{reg})
                  : pario::FileView{},
-            opts_.collective);
+            opts_.hints.collective());
       };
       const pario::Region none{};
       auto pin_seq = read_part(names.index, have ? range->pin_seq_off : none);
@@ -200,10 +194,14 @@ void PioBlastApp::body(mpisim::Process& p) {
       }
     }
   } else if (!p.is_root()) {
-    // Static assignment: load every assigned range up front. In greedy
-    // mode input and search interleave per assignment above instead.
-    for (const seqdb::FragmentRange& range : my_ranges)
-      stage.add_fragment(read_range(range));
+    // Static assignment: load every assigned range up front with one
+    // request list per volume file, so ranges that are adjacent in the
+    // volumes coalesce into single device reads. In greedy mode input and
+    // search interleave per assignment above instead.
+    for (auto& frag : driver::read_fragment_ranges(
+             p, shared(), names, header_view, my_ranges, opts_.hints,
+             nworkers(), &metrics()))
+      stage.add_fragment(std::move(frag));
   }
 
   // ---- search stage ("search"): pure in-memory compute --------------------
@@ -405,7 +403,7 @@ void PioBlastApp::output_stage(mpisim::Process& p, driver::SearchStage& stage,
     // the merge loop); the FileView constructor asserts that invariant.
     pario::FileView view(my_regions);
     pario::collective_write(p, shared(), opts_.job.output_path, view, my_data,
-                            opts_.collective);
+                            opts_.hints.collective());
     my_regions.clear();
     my_data.clear();
     // Release this batch's cached output buffers (the memory-bounding

@@ -76,7 +76,11 @@ struct PioBlastOptions {
   /// (one collective write per batch), bounding the cached-output memory.
   /// 0 = a single flush at the end (the default, maximum aggregation).
   std::uint32_t query_batch = 0;
-  pario::CollectiveConfig collective{};///< output aggregator count
+  /// MPI-IO-style access hints (pario/env.h): cb_nodes / cb_buffer_size
+  /// tune the two-phase collectives (output, and input when
+  /// collective_input is on); the ds_* / list knobs shape the independent
+  /// fragment-range reads. The CLI's --pario-hints flag.
+  pario::Hints hints{};
   /// Fault injections (crashes, stragglers, drops); inert by default. An
   /// active plan switches the run into its fault-tolerant paths: with the
   /// greedy scheduler a lost worker's ranges are reassigned; collective

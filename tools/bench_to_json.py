@@ -15,6 +15,13 @@ as an artifact instead of scrollback:
 
 Lines that are not ROW lines are ignored, so piping the bench's full
 stdout (banner, tables) through is fine.
+
+With --append, rows already present in the output file are kept and the
+new rows are added after them — the trajectory-file mode used by
+BENCH_pario.json, where each PR appends its measurement:
+
+    bench/fig4_nfs_cluster --drivers none \
+        | tools/bench_to_json.py --append -o BENCH_pario.json
 """
 
 import argparse
@@ -43,6 +50,9 @@ def main():
                     help="bench output files (default: stdin)")
     ap.add_argument("-o", "--output", default="BENCH_scalability.json",
                     help="output path (default: %(default)s)")
+    ap.add_argument("--append", action="store_true",
+                    help="keep rows already present in the output file and "
+                         "add the new ones after them")
     args = ap.parse_args()
 
     rows = []
@@ -56,6 +66,14 @@ def main():
     if not rows:
         print("bench_to_json: no ROW lines found", file=sys.stderr)
         return 1
+
+    if args.append:
+        try:
+            with open(args.output, encoding="utf-8") as f:
+                prior = json.load(f).get("rows", [])
+        except FileNotFoundError:
+            prior = []
+        rows = prior + rows
 
     doc = {"rows": rows}
     with open(args.output, "w", encoding="utf-8") as f:

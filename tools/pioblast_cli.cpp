@@ -142,6 +142,12 @@ int main(int argc, char** argv) {
            "rank execution backend: threads (one OS thread per rank) | "
            "events (stackful fibers on one thread; required in practice "
            "for worlds beyond a few hundred ranks)")
+      .add("pario-hints", "",
+           "MPI-IO-style access hints, comma-separated key=value: "
+           "cb_nodes=N, cb_buffer_size=SIZE (0 = unbounded), ds_read="
+           "auto|enable|disable, ds_buffer_size=SIZE, ds_density=FRACTION, "
+           "list=on|off; sizes accept k/m/g suffixes "
+           "(e.g. \"cb_nodes=8,cb_buffer_size=1m,ds_read=enable\")")
       .add_flag("early-score-broadcast", "enable the §5 pruning extension")
       .add_flag("dynamic-scheduling", "greedy range scheduling (§5)")
       .add_flag("metrics", "print one machine-readable METRICS line per run")
@@ -209,6 +215,16 @@ int main(int argc, char** argv) {
     faults.validate(nprocs);
     std::printf("fault plan: %s\n\n", faults.describe().c_str());
   }
+  pario::Hints hints;
+  if (!args.get("pario-hints").empty()) {
+    try {
+      hints = pario::Hints::parse(args.get("pario-hints"));
+    } catch (const util::RuntimeError& e) {
+      std::cerr << e.what() << '\n';
+      return 2;
+    }
+    std::printf("pario hints: %s\n\n", hints.describe().c_str());
+  }
   mpisim::Tracer tracer;
   mpisim::Tracer* trace_ptr = args.get_flag("trace") ? &tracer : nullptr;
 
@@ -235,6 +251,7 @@ int main(int argc, char** argv) {
     opts.fragment_bases = parts.fragment_bases;
     opts.fragment_ranges = parts.ranges;
     opts.global_index = parts.global_index;
+    opts.hints = hints;
     opts.faults = faults;
     opts.exec = exec;
     if (!args.get("scheduler").empty())
@@ -267,6 +284,7 @@ int main(int argc, char** argv) {
     opts.job.output_path = "out.pioblast.txt";
     opts.early_score_broadcast = args.get_flag("early-score-broadcast");
     opts.dynamic_scheduling = args.get_flag("dynamic-scheduling");
+    opts.hints = hints;
     opts.faults = faults;
     opts.exec = exec;
     if (!args.get("scheduler").empty())
