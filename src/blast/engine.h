@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "blast/extend.h"
@@ -38,6 +39,8 @@ class QueryContext {
   std::uint32_t query_id() const { return query_id_; }
   std::span<const std::uint8_t> residues() const { return residues_; }
   const WordIndex& index() const { return index_; }
+  const FlatNeighborhood& flat_index() const { return flat_; }
+  const SelfScoreProfile& self_profile() const { return self_; }
   const ScoringMatrix& matrix() const { return matrix_; }
   const SearchParams& params() const { return params_; }
   const GlobalDbStats& db() const { return db_; }
@@ -54,9 +57,23 @@ class QueryContext {
   const ScoringMatrix& matrix_;
   GlobalDbStats db_;
   WordIndex index_;
+  FlatNeighborhood flat_;
+  SelfScoreProfile self_;
   std::uint64_t adjust_ = 0;
   int cutoff_score_ = 0;
 };
+
+/// Which search-kernel implementation runs the fragment scan. Both produce
+/// bit-identical HSP lists and counters; `kScalar` is the straightforward
+/// reference implementation, `kFast` the batched/flat-table/SWAR rebuild
+/// that the differential kernel tests check against it.
+enum class KernelKind { kScalar, kFast };
+
+/// Parses "scalar" / "fast" (aborts on anything else; used by CLI parsing).
+KernelKind parse_kernel(std::string_view name);
+
+/// Inverse of parse_kernel, for logs and test output.
+const char* kernel_name(KernelKind kind);
 
 /// Result of searching one query against one fragment.
 struct FragmentSearchResult {
@@ -64,9 +81,23 @@ struct FragmentSearchResult {
   sim::SearchCounters counters;   ///< feeds the virtual-time cost model
 };
 
-/// Searches `query` against every sequence of `fragment`.
+/// Searches `query` against every sequence of `fragment` (scalar kernel).
 FragmentSearchResult search_fragment(const QueryContext& query,
                                      const seqdb::LoadedFragment& fragment);
+
+/// Fast-kernel twin of search_fragment: same HSPs, same counters, computed
+/// via the flat neighborhood table and SWAR/arena extension paths.
+FragmentSearchResult search_fragment_fast(const QueryContext& query,
+                                          const seqdb::LoadedFragment& fragment);
+
+/// Searches every query of a batch against `fragment` with the chosen
+/// kernel; results are index-aligned with `queries`. The fast kernel scans
+/// and packs the fragment ONCE (FragmentIndex) and services the whole
+/// batch from the precomputed word codes — the per-fragment cost the
+/// scalar kernel pays per query. Output is bit-identical across kernels.
+std::vector<FragmentSearchResult> search_fragment_batch(
+    std::span<const QueryContext> queries,
+    const seqdb::LoadedFragment& fragment, KernelKind kernel);
 
 /// Builds the scoring matrix implied by `params`.
 ScoringMatrix make_matrix(const SearchParams& params);

@@ -1,0 +1,114 @@
+// Internals shared by the scalar engine (engine.cpp) and the fast kernel
+// (kernel_fast.cpp). Both search loops must make identical decisions from
+// identical state — the differential kernel tests compare their outputs
+// byte for byte — so the per-diagonal bookkeeping and HSP annotation live
+// here rather than being duplicated.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blast/hsp.h"
+#include "blast/scoring.h"
+#include "util/error.h"
+
+namespace pioblast::blast::detail {
+
+/// Epoch-stamped per-diagonal table, reused across subjects so the scan
+/// does not reallocate or clear for every sequence.
+class DiagTable {
+ public:
+  void begin_subject(std::size_t qlen, std::size_t slen) {
+    const std::size_t need = qlen + slen + 1;
+    if (entries_.size() < need) entries_.resize(need);
+    ++epoch_;
+  }
+
+  /// Last seed position recorded on the diagonal (or -1).
+  std::int64_t last_seed(std::size_t diag) const {
+    const Entry& e = entries_[diag];
+    return e.seed_epoch == epoch_ ? e.last_seed : -1;
+  }
+  void set_last_seed(std::size_t diag, std::int64_t pos) {
+    Entry& e = entries_[diag];
+    e.seed_epoch = epoch_;
+    e.last_seed = pos;
+  }
+
+  /// Subject offset up to which this diagonal is covered by an extension.
+  std::int64_t covered_until(std::size_t diag) const {
+    const Entry& e = entries_[diag];
+    return e.cover_epoch == epoch_ ? e.covered : -1;
+  }
+  void set_covered(std::size_t diag, std::int64_t until) {
+    Entry& e = entries_[diag];
+    const std::int64_t prev = e.cover_epoch == epoch_ ? e.covered : -1;
+    e.cover_epoch = epoch_;
+    e.covered = std::max(prev, until);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t seed_epoch = 0;
+    std::uint64_t cover_epoch = 0;
+    std::int64_t last_seed = -1;
+    std::int64_t covered = -1;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Region some gapped extension already explored for the current subject —
+/// including extensions whose score fell below the cutoffs. Seeds inside an
+/// explored envelope are skipped; without this, a weak homolog (below the
+/// reporting cutoff) would re-run a near-full-length gapped DP for every
+/// one of its seeds.
+struct Envelope {
+  std::uint32_t qstart, qend;
+  std::uint64_t sstart, send;
+};
+
+/// Fills identity/positive/gap counts by replaying the traceback.
+inline void annotate_alignment(Hsp& hsp, std::span<const std::uint8_t> query,
+                               std::span<const std::uint8_t> subject,
+                               const ScoringMatrix& matrix) {
+  std::uint32_t qi = hsp.qstart;
+  std::uint64_t si = hsp.sstart;
+  hsp.identities = 0;
+  hsp.positives = 0;
+  hsp.gaps = 0;
+  hsp.align_len = static_cast<std::uint32_t>(hsp.ops.size());
+  for (AlignOp op : hsp.ops) {
+    switch (op) {
+      case AlignOp::kMatch: {
+        const std::uint8_t a = query[qi];
+        const std::uint8_t b = subject[si];
+        if (a == b) ++hsp.identities;
+        if (matrix.score(a, b) > 0) ++hsp.positives;
+        ++qi;
+        ++si;
+        break;
+      }
+      case AlignOp::kInsert:
+        ++hsp.gaps;
+        ++qi;
+        break;
+      case AlignOp::kDelete:
+        ++hsp.gaps;
+        ++si;
+        break;
+    }
+  }
+  PIOBLAST_CHECK_MSG(qi == hsp.qend && si == hsp.send,
+                     "traceback does not span the HSP coordinates");
+}
+
+/// True if `a` is contained within `b`'s envelope on both sequences.
+inline bool contained_in(const Hsp& a, const Hsp& b) {
+  return a.qstart >= b.qstart && a.qend <= b.qend && a.sstart >= b.sstart &&
+         a.send <= b.send;
+}
+
+}  // namespace pioblast::blast::detail

@@ -51,4 +51,60 @@ GappedExtension extend_gapped(std::span<const std::uint8_t> query,
                               const ScoringMatrix& matrix, int gap_open,
                               int gap_extend, int xdrop);
 
+// ---- fast-kernel extension paths ------------------------------------------
+//
+// Same inputs, bit-identical outputs (scores, coordinates, tracebacks,
+// cell counts) as the scalar functions above — the differential kernel
+// tests enforce this. The speed comes from mechanical restructuring only:
+// SWAR 8-residue skips over identical diagonal runs (ungapped), hoisted
+// scoring-matrix row pointers, and reusable DP scratch with a flat
+// traceback arena instead of per-cell vector growth (gapped).
+
+/// Per-query precomputation for the SWAR ungapped skip: prefix sums of the
+/// query's self-alignment scores and a prefix count of positions whose
+/// self score is strictly positive. An 8-residue block may be skipped only
+/// when the subject bytes are identical AND every self score in the block
+/// is positive, which makes the scalar loop's running score strictly
+/// monotone across the block (no X-drop, best always at the block end).
+struct SelfScoreProfile {
+  std::vector<int> prefix;            ///< prefix[i] = sum self scores < i
+  std::vector<std::uint32_t> positive;///< positive[i] = count positive < i
+
+  SelfScoreProfile() = default;
+  SelfScoreProfile(std::span<const std::uint8_t> query,
+                   const ScoringMatrix& matrix);
+};
+
+/// Fast twin of extend_ungapped (identical result, identical cells).
+UngappedExtension extend_ungapped_fast(std::span<const std::uint8_t> query,
+                                       std::span<const std::uint8_t> subject,
+                                       std::uint32_t qpos, std::uint64_t spos,
+                                       int word_size,
+                                       const ScoringMatrix& matrix, int xdrop,
+                                       const SelfScoreProfile& self);
+
+/// Reusable DP buffers for extend_gapped_fast; one per searching thread.
+/// Holding the arena across calls removes the per-cell push_back and
+/// per-call row allocations of the scalar path.
+struct GappedScratch {
+  std::vector<int> H, F;
+  std::vector<std::uint8_t> dirs;  ///< traceback bytes, all rows contiguous
+  struct Row {
+    std::size_t lo;     ///< first column of the row's window
+    std::size_t start;  ///< offset of the row's bytes in `dirs`
+    std::size_t len;
+  };
+  std::vector<Row> rows;
+  std::vector<std::uint8_t> qrev, srev;  ///< reversed prefixes (left pass)
+};
+
+/// Fast twin of extend_gapped (identical result, identical cells).
+GappedExtension extend_gapped_fast(std::span<const std::uint8_t> query,
+                                   std::span<const std::uint8_t> subject,
+                                   std::uint32_t anchor_q,
+                                   std::uint64_t anchor_s,
+                                   const ScoringMatrix& matrix, int gap_open,
+                                   int gap_extend, int xdrop,
+                                   GappedScratch& scratch);
+
 }  // namespace pioblast::blast

@@ -1,0 +1,73 @@
+#include "blast/fragment_index.h"
+
+#include "util/error.h"
+
+namespace pioblast::blast {
+
+FragmentIndex::FragmentIndex(const seqdb::LoadedFragment& fragment,
+                             const SearchParams& params)
+    : is_dna_(params.type == seqdb::SeqType::kNucleotide),
+      word_size_(params.word_size) {
+  PIOBLAST_CHECK_MSG(!is_dna_ || (word_size_ >= 4 && word_size_ <= 31),
+                     "blastn word size must be in [4,31]");
+  PIOBLAST_CHECK_MSG(is_dna_ || word_size_ == 3, "blastp word size must be 3");
+
+  const std::uint64_t nseqs = fragment.num_seqs();
+  starts_.reserve(nseqs + 1);
+  starts_.push_back(0);
+  const std::size_t w = static_cast<std::size_t>(word_size_);
+
+  // Size the code array up front: growing it sequence by sequence with
+  // exact-fit reserves would reallocate (and copy the whole prefix) on
+  // every sequence, turning the build quadratic in fragment size.
+  std::size_t total_words = 0;
+  for (std::uint64_t local = 0; local < nseqs; ++local) {
+    const std::size_t slen = fragment.sequence(local).size();
+    total_words += slen >= w ? slen - w + 1 : 0;
+  }
+  if (is_dna_) {
+    codes64_.reserve(total_words);
+  } else {
+    codes32_.reserve(total_words);
+  }
+
+  for (std::uint64_t local = 0; local < nseqs; ++local) {
+    const std::span<const std::uint8_t> s = fragment.sequence(local);
+    const std::size_t nwords = s.size() >= w ? s.size() - w + 1 : 0;
+    if (!is_dna_) {
+      if (nwords > 0) {
+        // Rolling base-24 pack: drop the leading residue, shift, append.
+        std::uint32_t code = (static_cast<std::uint32_t>(s[0]) * 24u +
+                              static_cast<std::uint32_t>(s[1])) *
+                                 24u +
+                             static_cast<std::uint32_t>(s[2]);
+        codes32_.push_back(code);
+        for (std::size_t pos = 1; pos < nwords; ++pos) {
+          code = (code - static_cast<std::uint32_t>(s[pos - 1]) * 576u) * 24u +
+                 static_cast<std::uint32_t>(s[pos + 2]);
+          codes32_.push_back(code);
+        }
+      }
+      starts_.push_back(codes32_.size());
+    } else {
+      const std::size_t base = codes64_.size();
+      codes64_.resize(base + nwords, kInvalidWord);
+      const std::uint64_t mask = (1ULL << (2 * word_size_)) - 1;
+      std::uint64_t packed = 0;
+      int valid = 0;
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        const std::uint8_t code = s[i];
+        if (code >= 4) {  // ambiguity: restart the window
+          valid = 0;
+          packed = 0;
+          continue;
+        }
+        packed = ((packed << 2) | code) & mask;
+        if (++valid >= word_size_) codes64_[base + i + 1 - w] = packed;
+      }
+      starts_.push_back(codes64_.size());
+    }
+  }
+}
+
+}  // namespace pioblast::blast

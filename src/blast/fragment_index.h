@@ -1,0 +1,66 @@
+// Per-assignment database-fragment index for the fast kernel.
+//
+// The scalar engine re-derives the packed word at every subject position
+// for every query (Q scans of the fragment per batch). The fast kernel
+// inverts that: the fragment is scanned ONCE per assignment and the packed
+// word codes are materialized per position, so servicing a whole query
+// batch is Q probes of each precomputed code instead of Q re-packings —
+// the Nguyen & Lavenier "index the database once, batch the queries"
+// recipe adapted to our word-scan structure.
+//
+// Protein codes are base-24 packed 3-mers (fit u32); nucleotide codes are
+// 2-bit packed words up to 31-mers (u64), with a sentinel at positions
+// whose window contains an ambiguous residue — exactly the positions the
+// scalar probe() rejects.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blast/hsp.h"
+#include "seqdb/formatdb.h"
+
+namespace pioblast::blast {
+
+class FragmentIndex {
+ public:
+  /// Word at this position straddles an ambiguous residue (blastn only).
+  static constexpr std::uint64_t kInvalidWord = ~0ULL;
+
+  FragmentIndex(const seqdb::LoadedFragment& fragment,
+                const SearchParams& params);
+
+  bool is_dna() const { return is_dna_; }
+  int word_size() const { return word_size_; }
+  std::uint64_t num_seqs() const { return starts_.size() - 1; }
+
+  /// Packed words of subject `local`, one per word start position
+  /// (size max(0, slen - word_size + 1)). Protein only.
+  std::span<const std::uint32_t> codes32(std::uint64_t local) const {
+    const std::uint64_t b = starts_[local];
+    return {codes32_.data() + b,
+            static_cast<std::size_t>(starts_[local + 1] - b)};
+  }
+
+  /// Same for nucleotide fragments (kInvalidWord marks ambiguous windows).
+  std::span<const std::uint64_t> codes64(std::uint64_t local) const {
+    const std::uint64_t b = starts_[local];
+    return {codes64_.data() + b,
+            static_cast<std::size_t>(starts_[local + 1] - b)};
+  }
+
+  /// Total positions indexed (diagnostics/tests).
+  std::uint64_t positions() const {
+    return is_dna_ ? codes64_.size() : codes32_.size();
+  }
+
+ private:
+  bool is_dna_;
+  int word_size_;
+  std::vector<std::uint64_t> starts_;  ///< per-subject code offsets, size n+1
+  std::vector<std::uint32_t> codes32_;
+  std::vector<std::uint64_t> codes64_;
+};
+
+}  // namespace pioblast::blast

@@ -71,4 +71,25 @@ ScoringMatrix ScoringMatrix::dna(int match, int mismatch) {
   return m;
 }
 
+ScoringMatrix ScoringMatrix::custom(int size, std::span<const int> scores,
+                                    const KarlinParams& ungapped,
+                                    const KarlinParams& gapped) {
+  ScoringMatrix m;
+  m.size_ = size;
+  for (int a = 0; a < size; ++a) {
+    int best = scores[static_cast<std::size_t>(a) * static_cast<std::size_t>(size)];
+    for (int b = 0; b < size; ++b) {
+      const int s = scores[static_cast<std::size_t>(a) *
+                               static_cast<std::size_t>(size) +
+                           static_cast<std::size_t>(b)];
+      m.table_[static_cast<std::size_t>(a) * kMaxAlphabet + b] = s;
+      best = std::max(best, s);
+    }
+    m.row_max_[static_cast<std::size_t>(a)] = best;
+  }
+  m.ungapped_ = ungapped;
+  m.gapped_ = gapped;
+  return m;
+}
+
 }  // namespace pioblast::blast

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "seqdb/alphabet.h"
 
@@ -34,10 +35,23 @@ class ScoringMatrix {
   /// for other reward/penalty pairs).
   static ScoringMatrix dna(int match = 1, int mismatch = -3);
 
+  /// Arbitrary matrix over `size` residue codes, `scores` row-major
+  /// (size*size entries). Used by the kernel property/differential tests
+  /// to drive the seed machinery with randomized scoring systems.
+  static ScoringMatrix custom(int size, std::span<const int> scores,
+                              const KarlinParams& ungapped,
+                              const KarlinParams& gapped);
+
   int size() const { return size_; }
 
   int score(std::uint8_t a, std::uint8_t b) const {
     return table_[static_cast<std::size_t>(a) * kMaxAlphabet + b];
+  }
+
+  /// Row pointer (`row(a)[b] == score(a, b)`); the fast kernel hoists this
+  /// out of its inner loops.
+  const int* row(std::uint8_t a) const {
+    return table_.data() + static_cast<std::size_t>(a) * kMaxAlphabet;
   }
 
   /// Highest score in row `a` (used for neighborhood-word pruning).

@@ -8,9 +8,11 @@
 
 namespace pioblast::driver {
 
-SearchStage::SearchStage(const blast::QuerySet& queries, RunMetrics* metrics)
+SearchStage::SearchStage(const blast::QuerySet& queries, RunMetrics* metrics,
+                         blast::KernelKind kernel)
     : queries_(queries),
       metrics_(metrics),
+      kernel_(kernel),
       per_query_(static_cast<std::size_t>(queries.size())) {}
 
 std::size_t SearchStage::add_fragment(seqdb::LoadedFragment frag) {
@@ -24,8 +26,12 @@ void SearchStage::search_slot(mpisim::Process& p, std::size_t slot) {
   const auto& contexts = queries_.contexts();
   p.compute(p.cost().fragment_setup_seconds());
   std::uint64_t cached = 0;
+  // One batched call services every query (the fast kernel indexes the
+  // fragment once); virtual time is still charged per query, in query
+  // order, from the per-query counters — identical to the scalar loop.
+  auto results = blast::search_fragment_batch(contexts, frag, kernel_);
   for (std::uint32_t q = 0; q < queries_.size(); ++q) {
-    auto result = blast::search_fragment(contexts[q], frag);
+    auto& result = results[q];
     p.compute(p.cost().search_seconds(result.counters));
     for (blast::Hsp& hsp : result.hsps) {
       // Result caching (§3.2): remember the subject's location so its

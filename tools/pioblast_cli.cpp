@@ -138,6 +138,9 @@ int main(int argc, char** argv) {
       .add("schedule", "",
            "replay one forced schedule (a comma-separated rank trace as "
            "printed by a failing --check run)")
+      .add("kernel", "fast",
+           "search kernel: fast (batched fragment index + SWAR extension) | "
+           "scalar (reference); outputs are bit-identical")
       .add("exec-model", "threads",
            "rank execution backend: threads (one OS thread per rank) | "
            "events (stackful fibers on one thread; required in practice "
@@ -209,6 +212,7 @@ int main(int argc, char** argv) {
   const std::string driver = args.get("driver");
   const bool verify = args.get("verify") != "off";
   const mpisim::ExecModel exec = mpisim::parse_exec_model(args.get("exec-model"));
+  const blast::KernelKind kernel = blast::parse_kernel(args.get("kernel"));
   mpisim::FaultPlan faults;
   if (!args.get("fault").empty()) {
     faults = mpisim::FaultPlan::parse(args.get("fault"));
@@ -254,6 +258,7 @@ int main(int argc, char** argv) {
     opts.hints = hints;
     opts.faults = faults;
     opts.exec = exec;
+    opts.kernel = kernel;
     if (!args.get("scheduler").empty())
       opts.scheduler = driver::parse_scheduler(args.get("scheduler"));
     blast::DriverResult result;
@@ -287,6 +292,7 @@ int main(int argc, char** argv) {
     opts.hints = hints;
     opts.faults = faults;
     opts.exec = exec;
+    opts.kernel = kernel;
     if (!args.get("scheduler").empty())
       opts.scheduler = driver::parse_scheduler(args.get("scheduler"));
     blast::DriverResult result;
