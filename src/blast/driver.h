@@ -34,6 +34,10 @@ struct DriverResult {
   std::uint64_t output_bytes = 0;
   std::uint64_t candidates_merged = 0;    ///< records screened by the master
   std::uint64_t alignments_reported = 0;  ///< alignments in the final output
+  /// Protospec conformance summary ("CONFORM spec=... result=ok") when the
+  /// run was monitored (--conformance); empty otherwise. A divergent run
+  /// throws mpisim::VerifyError instead of returning.
+  std::string conformance;
   /// Full structured-counter snapshot (driver::RunMetrics). Superset of the
   /// three legacy fields above, which are kept for existing callers.
   std::map<std::string, std::uint64_t> metrics;

@@ -196,6 +196,15 @@ inline void serve_work(
     serve_one(worker);
     drain_parked();
   }
+  // A dead worker's final request can still be undelivered here: when the
+  // failure detector's notice overtakes the in-flight request (detection
+  // delay under the wire latency, or a schedule that runs the crash
+  // first), handle_death ends the loop before the request is consumed.
+  // Every live worker's requests were answered above — assign, retire,
+  // park, or the stray-after-retirement reply — so whatever is left on
+  // kTagWorkReq is from a crashed worker; drain it or the verifier's leak
+  // check reports it as a lost driver message.
+  if (fault_tolerant) p.drain(kTagWorkReq);
 }
 
 /// Worker side: one request/reply round trip. Returns the decoded task, or

@@ -19,6 +19,8 @@
 #include "driver/work_queue.h"
 #include "mpisim/wire.h"
 #include "pario/file.h"
+#include "protospec/conform.h"
+#include "protospec/spec.h"
 #include "util/error.h"
 
 namespace pioblast::mpiblast {
@@ -252,10 +254,29 @@ blast::DriverResult run_mpiblast(const sim::ClusterConfig& cluster, int nprocs,
   auto shared_queries = blast::QuerySet::build(
       std::string(query_text_raw.begin(), query_text_raw.end()),
       opts.job.params, db_stats);
+  const auto nqueries = static_cast<int>(shared_queries->size());
 
-  MpiBlastApp app(cluster, nprocs, storage, opts, std::move(shared_queries),
+  // Conformance needs the event stream; record one ourselves when the
+  // caller did not ask for a trace.
+  mpisim::Tracer conform_tracer;
+  MpiBlastOptions local = opts;
+  if (local.conformance && local.tracer == nullptr)
+    local.tracer = &conform_tracer;
+
+  MpiBlastApp app(cluster, nprocs, storage, local, std::move(shared_queries),
                   db_stats);
-  return app.run();
+  blast::DriverResult result = app.run();
+  if (local.conformance) {
+    protospec::SpecParams sp;
+    sp.nranks = nprocs;
+    sp.tasks = static_cast<int>(opts.fragment_bases.size());
+    sp.queries = nqueries;
+    sp.fetch_cap = -1;  // per-query fetch count is data-dependent
+    sp.fault_tolerant = opts.faults.active();
+    result.conformance = protospec::enforce_conformance(
+        *protospec::spec_by_name("mpiblast"), sp, local.tracer->sorted());
+  }
+  return result;
 }
 
 }  // namespace pioblast::mpiblast

@@ -52,6 +52,11 @@ struct MpiBlastOptions {
   /// collective order, tag registry conformance, typed payloads, and
   /// message leaks. On by default; `--verify off` in the CLI disables it.
   bool verify = true;
+  /// Protospec runtime conformance (protospec/conform.h): replay the run's
+  /// trace against the declarative mpiblast protocol spec and throw
+  /// mpisim::VerifyError on the first divergent event. Uses `tracer` when
+  /// set, otherwise records an internal trace. The CLI's --conformance.
+  bool conformance = false;
   std::vector<std::string> fragment_bases;  ///< mpiformatdb outputs, in order
   std::vector<seqdb::SeqRange> fragment_ranges;
   seqdb::DbIndex global_index;

@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "mpicheck/por.h"
 #include "util/error.h"
 
 namespace pioblast::mpicheck {
@@ -260,17 +261,10 @@ void Checker::dpor_sweep(CheckResult& res) {
       node.done.insert(rec.chosen);
       if (d > 0) {
         const Node& parent = path.back();
-        const mpisim::YieldPoint* cop = op_of(parent.rec, parent.chosen);
-        std::set<int> inherit = parent.sleep;
-        for (const int r : parent.done)
-          if (r != parent.chosen) inherit.insert(r);
-        for (const int r : inherit) {
-          if (r == parent.chosen) continue;
-          const mpisim::YieldPoint* rop = op_of(rec, r);
-          if (rop == nullptr) continue;  // no longer runnable here
-          if (cop != nullptr && independent(*rop, *cop))
-            node.sleep.insert(r);
-        }
+        node.sleep = inherit_sleep(
+            parent.sleep, parent.done, parent.chosen,
+            op_of(parent.rec, parent.chosen),
+            [&rec](int r) { return op_of(rec, r); });
       }
       path.push_back(std::move(node));
     }

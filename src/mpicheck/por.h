@@ -1,0 +1,77 @@
+// Sleep-set partial-order reduction, shared between the schedule
+// explorer's DPOR-lite sweep (explore.cpp) and the protospec model
+// checker (protospec/check.cpp).
+//
+// Both tools walk a tree of nondeterministic choices and prune branches
+// that provably commute with a branch already taken. The default
+// dependence notion is mpisim::independent() over YieldPoints — the same
+// relation the runtime uses — so a pruning decision here is exactly as
+// strong as the explorer's; a caller whose semantics justify a finer
+// relation (the protospec checker's per-channel queues, say) can supply
+// its own. The inheritance rule is the classic one (Godefroid): an
+// action stays asleep in the child state iff it was asleep or already
+// explored in the parent and is independent of the action just taken.
+#pragma once
+
+#include <algorithm>
+#include <set>
+
+#include "mpisim/hooks.h"
+
+namespace pioblast::mpicheck {
+
+/// Computes a child state's sleep set.
+///
+/// `Key` identifies an alternative action at a choice point: a rank id in
+/// the schedule explorer, an opaque transition signature in the protospec
+/// checker. `op_of(key)` returns the pending `Op` of that action in the
+/// *child* state, or nullptr when the action is no longer pending there
+/// (it then drops out of the sleep set — waking is handled by not
+/// inheriting). `indep(a, b)` is the independence relation over `Op`;
+/// it must only return true for actions that commute and preserve each
+/// other's enabledness.
+template <typename Key, typename Op, typename OpOf, typename Indep>
+std::set<Key> inherit_sleep(const std::set<Key>& parent_sleep,
+                            const std::set<Key>& parent_done,
+                            const Key& chosen, const Op* chosen_op,
+                            OpOf&& op_of, Indep&& indep) {
+  std::set<Key> out;
+  if (chosen_op == nullptr) return out;
+  std::set<Key> inherit = parent_sleep;
+  for (const Key& k : parent_done)
+    if (!(k == chosen)) inherit.insert(k);
+  for (const Key& k : inherit) {
+    if (k == chosen) continue;
+    const Op* op = op_of(k);
+    if (op == nullptr) continue;
+    if (indep(*op, *chosen_op)) out.insert(k);
+  }
+  return out;
+}
+
+/// Overload with the runtime's own dependence notion over YieldPoints.
+template <typename Key, typename OpOf>
+std::set<Key> inherit_sleep(const std::set<Key>& parent_sleep,
+                            const std::set<Key>& parent_done,
+                            const Key& chosen,
+                            const mpisim::YieldPoint* chosen_op,
+                            OpOf&& op_of) {
+  return inherit_sleep(
+      parent_sleep, parent_done, chosen, chosen_op,
+      std::forward<OpOf>(op_of),
+      [](const mpisim::YieldPoint& a, const mpisim::YieldPoint& b) {
+        return independent(a, b);
+      });
+}
+
+/// Covering test for sleep-set state caching: revisiting a state with
+/// sleep set S_new can be skipped iff some earlier visit explored it with
+/// S_old ⊆ S_new — everything the new visit would skip, the old visit
+/// skipped too (or explored), so the old visit's coverage subsumes it.
+template <typename Key>
+bool sleep_covers(const std::set<Key>& s_old, const std::set<Key>& s_new) {
+  return std::includes(s_new.begin(), s_new.end(), s_old.begin(),
+                       s_old.end());
+}
+
+}  // namespace pioblast::mpicheck

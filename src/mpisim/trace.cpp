@@ -1,7 +1,9 @@
 #include "mpisim/trace.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 namespace pioblast::mpisim {
@@ -76,6 +78,80 @@ std::vector<TraceEvent> Tracer::for_rank(int rank) const {
   for (const TraceEvent& e : sorted())
     if (e.rank == rank) out.push_back(e);
   return out;
+}
+
+namespace {
+
+// Reads "<key>=<number>" starting at `pos` in `s`; advances past it.
+bool scan_kv(const std::string& s, std::size_t& pos, const char* key,
+             long long& value) {
+  const std::string want = std::string(key) + "=";
+  const std::size_t at = s.find(want, pos);
+  if (at == std::string::npos) return false;
+  std::size_t end = at + want.size();
+  errno = 0;
+  char* after = nullptr;
+  value = std::strtoll(s.c_str() + end, &after, 10);
+  if (after == s.c_str() + end || errno != 0) return false;
+  pos = static_cast<std::size_t>(after - s.c_str());
+  return true;
+}
+
+}  // namespace
+
+bool parse_trace_event(const TraceEvent& event, ParsedEvent& out) {
+  out = ParsedEvent{};
+  out.kind = event.kind;
+  out.rank = event.rank;
+  out.time = event.time;
+  const std::string& d = event.detail;
+  long long v = 0;
+  std::size_t pos = 0;
+  switch (event.kind) {
+    case TraceKind::kSend:
+    case TraceKind::kRecv: {
+      const char* peer_key = event.kind == TraceKind::kSend ? "dst" : "src";
+      if (!scan_kv(d, pos, peer_key, v)) return false;
+      out.peer = static_cast<int>(v);
+      if (!scan_kv(d, pos, "tag", v)) return false;
+      out.tag = static_cast<int>(v);
+      if (!scan_kv(d, pos, "bytes", v)) return false;
+      out.bytes = static_cast<std::uint64_t>(v);
+      return true;
+    }
+    case TraceKind::kCollective: {
+      const std::size_t sp = d.find(' ');
+      if (sp == std::string::npos) return false;
+      out.op = d.substr(0, sp);
+      if (!scan_kv(d, pos, "root", v)) return false;
+      out.root = static_cast<int>(v);
+      return true;
+    }
+    case TraceKind::kFault: {
+      if (d.rfind("drop send", 0) == 0) {
+        out.drop = true;
+        if (!scan_kv(d, pos, "dst", v)) return false;
+        out.peer = static_cast<int>(v);
+        if (!scan_kv(d, pos, "tag", v)) return false;
+        out.tag = static_cast<int>(v);
+        if (!scan_kv(d, pos, "bytes", v)) return false;
+        out.bytes = static_cast<std::uint64_t>(v);
+        return true;
+      }
+      if (d.rfind("rank ", 0) == 0 &&
+          d.find(" crashed") != std::string::npos) {
+        errno = 0;
+        char* after = nullptr;
+        v = std::strtoll(d.c_str() + 5, &after, 10);
+        if (after == d.c_str() + 5 || errno != 0) return false;
+        out.crashed_rank = static_cast<int>(v);
+        return true;
+      }
+      return false;
+    }
+    default:
+      return true;  // no structured payload for this kind
+  }
 }
 
 sim::Time Tracer::span() const {

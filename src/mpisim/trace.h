@@ -71,4 +71,26 @@ class Tracer {
   std::vector<TraceEvent> events_;
 };
 
+/// A TraceEvent's detail string, decoded. The fields filled depend on the
+/// kind: SEND/RECV set peer/tag/bytes, COLL sets op/root/seq, crash FAULT
+/// sets crashed_rank, drop-send FAULT sets drop + peer/tag/bytes. Consumers
+/// (the protospec conformance monitor) get structured access without
+/// re-parsing the ad-hoc detail formats.
+struct ParsedEvent {
+  TraceKind kind = TraceKind::kMark;
+  int rank = 0;
+  sim::Time time = 0.0;
+  int peer = -1;          ///< SEND: dst; RECV: src; drop FAULT: dst
+  int tag = -1;           ///< SEND/RECV/drop FAULT
+  std::uint64_t bytes = 0;
+  std::string op;         ///< COLL: operation name
+  int root = -1;          ///< COLL
+  int crashed_rank = -1;  ///< crash FAULT: the rank that died
+  bool drop = false;      ///< FAULT was a message drop, not a crash
+};
+
+/// Decodes one trace event. Returns false when the detail string does not
+/// match the kind's known format (then only kind/rank/time are valid).
+bool parse_trace_event(const TraceEvent& event, ParsedEvent& out);
+
 }  // namespace pioblast::mpisim

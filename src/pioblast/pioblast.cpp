@@ -20,6 +20,8 @@
 #include "driver/work_queue.h"
 #include "mpisim/wire.h"
 #include "pario/file.h"
+#include "protospec/conform.h"
+#include "protospec/spec.h"
 #include "seqdb/partition.h"
 #include "util/error.h"
 
@@ -451,10 +453,32 @@ blast::DriverResult run_pioblast(const sim::ClusterConfig& cluster, int nprocs,
   auto shared_queries = blast::QuerySet::build(
       std::string(query_text_raw.begin(), query_text_raw.end()),
       opts.job.params, host_stats);
+  const auto nqueries = static_cast<int>(shared_queries->size());
 
-  PioBlastApp app(cluster, nprocs, storage, opts, std::move(shared_queries),
+  // Conformance needs the event stream; record one ourselves when the
+  // caller did not ask for a trace.
+  mpisim::Tracer conform_tracer;
+  PioBlastOptions local = opts;
+  if (local.conformance && local.tracer == nullptr)
+    local.tracer = &conform_tracer;
+
+  PioBlastApp app(cluster, nprocs, storage, local, std::move(shared_queries),
                   kind);
-  return app.run();
+  blast::DriverResult result = app.run();
+  if (local.conformance) {
+    protospec::SpecParams sp;
+    sp.nranks = nprocs;
+    sp.tasks = opts.job.nfragments > 0 ? opts.job.nfragments : nprocs - 1;
+    sp.queries = nqueries;
+    sp.batch = opts.query_batch > 0 ? static_cast<int>(opts.query_batch)
+                                    : nqueries;
+    sp.fault_tolerant = opts.faults.active();
+    sp.dynamic = kind == driver::SchedulerKind::kGreedyDynamic;
+    sp.early_score = opts.early_score_broadcast;
+    result.conformance = protospec::enforce_conformance(
+        *protospec::spec_by_name("pioblast"), sp, local.tracer->sorted());
+  }
+  return result;
 }
 
 }  // namespace pioblast::pio

@@ -58,6 +58,11 @@ struct PioBlastOptions {
   /// collective order, tag registry conformance, typed payloads, and
   /// message leaks. On by default; `--verify off` in the CLI disables it.
   bool verify = true;
+  /// Protospec runtime conformance (protospec/conform.h): replay the run's
+  /// trace against the declarative pioblast protocol spec and throw
+  /// mpisim::VerifyError on the first divergent event. Uses `tracer` when
+  /// set, otherwise records an internal trace. The CLI's --conformance.
+  bool conformance = false;
   bool early_score_broadcast = false;  ///< §5 local-pruning extension
   bool collective_input = false;       ///< read input ranges collectively
   /// Range-assignment policy. Static policies (round-robin, the

@@ -1,0 +1,55 @@
+// Runtime conformance monitor: replays a real mpisim trace against a
+// ProtocolSpec and reports the first divergent transition.
+//
+// The monitor runs one NFA per rank over that rank's time-ordered event
+// stream. A frontier of (control state, Env) configurations is kept;
+// internal (tau) and silent edges are followed as epsilon moves, and each
+// observable event — a driver-band SEND/RECV, a fault notice, a COLL
+// entry, a crash — must be consumed by at least one edge out of some
+// frontier configuration. An empty frontier is a divergence: the report
+// names the rank, the offending event, and the candidate states the spec
+// allowed at that point.
+//
+// Guards run permissively (Ctx::strict = false): the monitor sees only one
+// rank's events, so data-dependent branch bounds (fetch round trips, task
+// counts) are treated as nondeterministic and the frontier branches
+// instead. Because the automaton is run as an NFA, permissiveness can only
+// cause missed divergences in corner cases, never false alarms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpisim/trace.h"
+#include "protospec/spec.h"
+
+namespace pioblast::protospec {
+
+struct ConformResult {
+  bool ok = true;
+  std::string error;  ///< first divergence, with candidate-state detail
+  std::size_t events_checked = 0;  ///< observable events consumed
+  std::size_t events_skipped = 0;  ///< filtered (internal band, timing, ...)
+  int ranks_checked = 0;
+
+  /// One-line summary for CLI output:
+  ///   CONFORM spec=<name> ranks=<n> events=<n> skipped=<n> result=ok
+  std::string summary(const std::string& spec_name) const;
+};
+
+/// Replays `events` (a Tracer::sorted() stream) against `spec` at the
+/// world described by `params` (nranks from params; -1 sentinels make the
+/// data-dependent guards permissive).
+ConformResult check_conformance(const ProtocolSpec& spec,
+                                const SpecParams& params,
+                                const std::vector<mpisim::TraceEvent>& events);
+
+/// Driver-side hook behind the --conformance flag: runs the monitor and
+/// throws mpisim::VerifyError on divergence, so a nonconforming run fails
+/// exactly like any other protocol-verifier violation. Returns the
+/// summary line on success.
+std::string enforce_conformance(const ProtocolSpec& spec,
+                                const SpecParams& params,
+                                const std::vector<mpisim::TraceEvent>& events);
+
+}  // namespace pioblast::protospec

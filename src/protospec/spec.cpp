@@ -1,0 +1,1018 @@
+// The protocol spec tables: mpiBLAST, pioBLAST, and the two pario
+// exchange cores, written against the implementations in
+// driver/work_queue.h, mpiblast/mpiblast.cpp, pioblast/pioblast.cpp, and
+// pario/collective.cpp. Every observable action of those code paths (in
+// the driver tag band, plus the fault notice) appears here as an edge;
+// tests/test_protospec.cpp holds the machines to account by replaying
+// real traces against them.
+#include "protospec/spec.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "driver/messages.h"
+#include "driver/tags.h"
+#include "mpisim/fault.h"
+#include "pario/collective.h"
+
+namespace pioblast::protospec {
+namespace {
+
+using driver::kTagAssign;
+using driver::kTagFetchReq;
+using driver::kTagFetchResp;
+using driver::kTagRanges;
+using driver::kTagSelect;
+using driver::kTagWorkReq;
+
+constexpr std::uint64_t kStampFetchReq =
+    mpisim::type_stamp<driver::FetchRequest>().fp;
+constexpr std::uint64_t kStampFetchResp =
+    mpisim::type_stamp<driver::FetchResponse>().fp;
+constexpr std::uint64_t kStampRanges =
+    mpisim::type_stamp<driver::RangeAssignment>().fp;
+constexpr std::uint64_t kStampSelect =
+    mpisim::type_stamp<driver::OutputSelection>().fp;
+
+// Wire sizes (driver/work_queue.h, driver/messages.h): a retirement reply
+// is exactly one byte (u8 0); a task reply is u8 1 + u32 id + optional
+// payload; a FetchRequest is one u32 in both flavors.
+constexpr std::uint32_t kRetireBytes = 1;
+constexpr std::uint32_t kTaskMinBytes = 5;
+constexpr std::uint32_t kFetchReqBytes = 4;
+
+// --------------------------------------------------------------------------
+// Shared guard/effect helpers.
+
+bool flag(const Ctx& c, int rank, std::uint8_t bit) {
+  return (c.env->f[rank] & bit) != 0;
+}
+
+int last_src(const Ctx& c) { return c.env->c[kCLastSrc]; }
+
+bool unbounded_tasks(const Ctx& c) { return c.params->tasks < 0; }
+
+bool has_tasks(const Ctx& c) {
+  return unbounded_tasks(c) || c.env->c[kCTasks] > 0;
+}
+
+// "The scheduler had nothing for this worker." With exact bounds that is
+// `tasks left == 0`; the permissive monitor also allows it earlier, since
+// a non-greedy scheduler may withhold tasks from a specific worker.
+bool out_of_tasks(const Ctx& c) {
+  if (!c.strict) return true;
+  return !unbounded_tasks(c) && c.env->c[kCTasks] <= 0;
+}
+
+bool any_busy_except(const Ctx& c, int w) {
+  for (int v = 1; v < c.nranks; ++v)
+    if (v != w && flag(c, v, kFBusy) && !flag(c, v, kFDead)) return true;
+  return false;
+}
+
+bool any_crashed(const Ctx& c) {
+  if (c.crashed == nullptr) return false;
+  for (int r = 1; r < c.nranks; ++r)
+    if (c.crashed[r] != 0) return true;
+  return false;
+}
+
+void do_assign(Ctx& c, int w) {
+  c.env->hist[w] = static_cast<std::int16_t>(c.env->hist[w] + 1);
+  c.env->f[w] |= kFBusy;
+  --c.env->c[kCTasks];
+}
+
+void do_retire(Ctx& c, int w) {
+  c.env->f[w] |= kFRetired;
+  --c.env->c[kCActive];
+}
+
+// work_queue.h handle_death: mark dead, unpark, clear busy, drop from the
+// active count unless already retired, and requeue the full history (the
+// worker's results die with it even after retirement).
+void do_handle_death(Ctx& c, int w) {
+  if (flag(c, w, kFDead)) return;
+  c.env->f[w] |= kFDead;
+  c.env->f[w] &= static_cast<std::uint8_t>(~(kFBusy | kFParked));
+  if (!flag(c, w, kFRetired)) --c.env->c[kCActive];
+  c.env->c[kCTasks] += c.env->hist[w];
+  c.env->hist[w] = 0;
+}
+
+bool more_queries(const Ctx& c) {
+  return c.params->queries < 0 || c.env->c[kCQuery] < c.params->queries;
+}
+
+bool queries_done(const Ctx& c) {
+  if (c.params->queries < 0) return !c.strict;
+  return c.env->c[kCQuery] >= c.params->queries;
+}
+
+// --------------------------------------------------------------------------
+// serve_work master segment (work_queue.h): states loop -> dispatch ->
+// drain, shared verbatim between the mpiBLAST master and the pioBLAST
+// dynamic master.
+
+void e_serve_req(Ctx& c) {
+  c.env->c[kCLastSrc] = c.peer;
+  c.env->f[c.peer] &= static_cast<std::uint8_t>(~kFBusy);
+}
+
+void e_serve_notice(Ctx& c) { do_handle_death(c, c.peer); }
+
+bool g_disp_dead(const Ctx& c) { return flag(c, last_src(c), kFDead); }
+
+bool g_disp_stray(const Ctx& c) {
+  return !flag(c, last_src(c), kFDead) && flag(c, last_src(c), kFRetired);
+}
+
+bool g_disp_assign(const Ctx& c) {
+  return !flag(c, last_src(c), kFDead) && !flag(c, last_src(c), kFRetired) &&
+         has_tasks(c);
+}
+
+bool g_disp_park(const Ctx& c) {
+  return !flag(c, last_src(c), kFDead) && !flag(c, last_src(c), kFRetired) &&
+         out_of_tasks(c) && c.params->fault_tolerant &&
+         any_busy_except(c, last_src(c));
+}
+
+bool g_disp_retire(const Ctx& c) {
+  return !flag(c, last_src(c), kFDead) && !flag(c, last_src(c), kFRetired) &&
+         out_of_tasks(c) &&
+         !(c.params->fault_tolerant && any_busy_except(c, last_src(c)));
+}
+
+void e_disp_assign(Ctx& c) { do_assign(c, last_src(c)); }
+void e_disp_park(Ctx& c) { c.env->f[last_src(c)] |= kFParked; }
+void e_disp_retire(Ctx& c) { do_retire(c, last_src(c)); }
+
+bool g_drain_assign(const Ctx& c) {
+  return flag(c, c.peer, kFParked) && has_tasks(c);
+}
+
+bool g_drain_retire(const Ctx& c) {
+  return flag(c, c.peer, kFParked) && out_of_tasks(c) &&
+         !any_busy_except(c, c.peer);
+}
+
+void e_drain_assign(Ctx& c) {
+  c.env->f[c.peer] &= static_cast<std::uint8_t>(~kFParked);
+  do_assign(c, c.peer);
+}
+
+void e_drain_retire(Ctx& c) {
+  c.env->f[c.peer] &= static_cast<std::uint8_t>(~kFParked);
+  do_retire(c, c.peer);
+}
+
+bool g_drain_done(const Ctx& c) {
+  if (!c.strict) return true;
+  for (int w = 1; w < c.nranks; ++w) {
+    if (!flag(c, w, kFParked)) continue;
+    if (has_tasks(c) || !any_busy_except(c, w)) return false;
+  }
+  return true;
+}
+
+bool g_serve_exit(const Ctx& c) { return c.env->c[kCActive] <= 0; }
+
+// Appends the serve_work trio to a master role. `task_min` is the minimum
+// task-reply size (the driver may append a task payload).
+void append_serve_work(std::vector<Edge>& e, int s_loop, int s_dispatch,
+                       int s_drain, int s_exit, std::uint32_t task_min) {
+  const auto loop = static_cast<std::int16_t>(s_loop);
+  const auto disp = static_cast<std::int16_t>(s_dispatch);
+  const auto drain = static_cast<std::int16_t>(s_drain);
+  const auto exit = static_cast<std::int16_t>(s_exit);
+  e.push_back({.name = "serve_req", .from = loop, .to = disp, .op = Op::kRecv,
+               .tag = kTagWorkReq, .flavor = kAnyFlavor,
+               .peer = PeerSel::kAnyWorker, .max_bytes = 0,
+               .effect = e_serve_req});
+  e.push_back({.name = "serve_notice", .from = loop, .to = drain,
+               .op = Op::kRecv, .tag = mpisim::kTagFaultNotice,
+               .flavor = kAnyFlavor, .peer = PeerSel::kAnyWorker,
+               .effect = e_serve_notice});
+  e.push_back({.name = "serve_exit", .from = loop, .to = exit, .op = Op::kTau,
+               .guard = g_serve_exit});
+  e.push_back({.name = "disp_dead", .from = disp, .to = loop, .op = Op::kTau,
+               .guard = g_disp_dead});
+  e.push_back({.name = "disp_stray_retire", .from = disp, .to = loop,
+               .op = Op::kSend, .tag = kTagAssign, .flavor = kAssignRetire,
+               .peer = PeerSel::kLastSrc, .min_bytes = kRetireBytes,
+               .max_bytes = kRetireBytes, .guard = g_disp_stray});
+  e.push_back({.name = "disp_assign", .from = disp, .to = drain,
+               .op = Op::kSend, .tag = kTagAssign, .flavor = kAssignTask,
+               .peer = PeerSel::kLastSrc, .min_bytes = task_min,
+               .guard = g_disp_assign, .effect = e_disp_assign});
+  e.push_back({.name = "disp_park", .from = disp, .to = drain, .op = Op::kTau,
+               .guard = g_disp_park, .effect = e_disp_park});
+  e.push_back({.name = "disp_retire", .from = disp, .to = drain,
+               .op = Op::kSend, .tag = kTagAssign, .flavor = kAssignRetire,
+               .peer = PeerSel::kLastSrc, .min_bytes = kRetireBytes,
+               .max_bytes = kRetireBytes, .guard = g_disp_retire,
+               .effect = e_disp_retire});
+  e.push_back({.name = "drain_assign", .from = drain, .to = drain,
+               .op = Op::kSend, .tag = kTagAssign, .flavor = kAssignTask,
+               .peer = PeerSel::kAnyWorker, .min_bytes = task_min,
+               .guard = g_drain_assign, .effect = e_drain_assign});
+  e.push_back({.name = "drain_retire", .from = drain, .to = drain,
+               .op = Op::kSend, .tag = kTagAssign, .flavor = kAssignRetire,
+               .peer = PeerSel::kAnyWorker, .min_bytes = kRetireBytes,
+               .max_bytes = kRetireBytes, .guard = g_drain_retire,
+               .effect = e_drain_retire});
+  e.push_back({.name = "drain_done", .from = drain, .to = loop, .op = Op::kTau,
+               .guard = g_drain_done});
+}
+
+// Worker request/assign loop (work_queue.h request_work).
+void append_request_loop(std::vector<Edge>& e, int s_req, int s_assign,
+                         int s_exit, std::uint32_t task_min) {
+  const auto req = static_cast<std::int16_t>(s_req);
+  const auto asg = static_cast<std::int16_t>(s_assign);
+  const auto exit = static_cast<std::int16_t>(s_exit);
+  e.push_back({.name = "work_req", .from = req, .to = asg, .op = Op::kSend,
+               .tag = kTagWorkReq, .peer = PeerSel::kMaster, .max_bytes = 0});
+  e.push_back({.name = "assign_task", .from = asg, .to = req, .op = Op::kRecv,
+               .tag = kTagAssign, .flavor = kAssignTask,
+               .peer = PeerSel::kMaster, .min_bytes = task_min});
+  e.push_back({.name = "assign_retire", .from = asg, .to = exit,
+               .op = Op::kRecv, .tag = kTagAssign, .flavor = kAssignRetire,
+               .peer = PeerSel::kMaster, .min_bytes = kRetireBytes,
+               .max_bytes = kRetireBytes});
+}
+
+// --------------------------------------------------------------------------
+// mpiBLAST (paper Figure 2): serve_work scheduling, then per query a
+// candidate gather, serialized fetch round trips, and an end-of-query
+// fan-out to every worker.
+
+enum MState : int {
+  kMInit, kMLoop, kMDispatch, kMDrain, kMQLoop, kMFetch, kMFetchWait,
+  kMFanout, kMFinal, kMAccept, kMCount,
+};
+
+const char* m_state_name(int s) {
+  static constexpr const char* kNames[kMCount] = {
+      "init_bcast", "serve_loop", "serve_dispatch", "serve_drain",
+      "query_loop", "fetch", "fetch_wait", "end_fanout", "final_barrier",
+      "accept"};
+  return s >= 0 && s < kMCount ? kNames[s] : nullptr;
+}
+
+void m_init_env(Env& e, const SpecParams& p, int /*self*/) {
+  e.c[kCTasks] = p.tasks < 0 ? 0 : p.tasks;
+  e.c[kCActive] = p.nranks - 1;
+}
+
+void e_begin_output(Ctx& c) {
+  c.env->c[kCQuery] = 0;
+  c.env->c[kCAux] = 0;
+}
+
+bool g_fetch_more(const Ctx& c) {
+  return c.params->fetch_cap < 0 || c.env->c[kCAux] < c.params->fetch_cap;
+}
+
+bool g_fetch_done(const Ctx& c) {
+  if (c.params->fetch_cap < 0) return !c.strict;
+  return c.env->c[kCAux] >= c.params->fetch_cap;
+}
+
+void e_fetch(Ctx& c) {
+  c.env->c[kCLastSrc] = c.peer;
+  ++c.env->c[kCAux];
+}
+
+void e_fanout_begin(Ctx& c) { c.env->c[kCIter] = 1; }
+
+bool g_iter_more(const Ctx& c) { return c.env->c[kCIter] < c.nranks; }
+bool g_iter_done(const Ctx& c) { return c.env->c[kCIter] >= c.nranks; }
+void e_iter_next(Ctx& c) { ++c.env->c[kCIter]; }
+
+void e_next_query(Ctx& c) {
+  ++c.env->c[kCQuery];
+  c.env->c[kCAux] = 0;
+}
+
+Role mpiblast_master() {
+  Role r;
+  r.name = "master";
+  r.nstates = kMCount;
+  r.initial = kMInit;
+  r.accept = kMAccept;
+  r.init_env = m_init_env;
+  r.state_name = m_state_name;
+  r.edges.push_back({.name = "init_bcast", .from = kMInit, .to = kMLoop,
+                     .op = Op::kCollective, .coll = "bcast"});
+  append_serve_work(r.edges, kMLoop, kMDispatch, kMDrain, kMQLoop,
+                    kTaskMinBytes);
+  // The serve_exit edge lands in kMQLoop; reset the output counters there.
+  for (Edge& e : r.edges)
+    if (std::string(e.name) == "serve_exit") e.effect = e_begin_output;
+  r.edges.push_back({.name = "query_gather", .from = kMQLoop, .to = kMFetch,
+                     .op = Op::kCollective, .coll = "gather",
+                     .guard = more_queries});
+  r.edges.push_back({.name = "queries_done", .from = kMQLoop, .to = kMFinal,
+                     .op = Op::kTau, .guard = queries_done});
+  r.edges.push_back({.name = "fetch_req", .from = kMFetch, .to = kMFetchWait,
+                     .op = Op::kSend, .tag = kTagFetchReq,
+                     .flavor = kFetchData, .peer = PeerSel::kAnyWorker,
+                     .stamp = kStampFetchReq, .min_bytes = kFetchReqBytes,
+                     .max_bytes = kFetchReqBytes, .guard = g_fetch_more,
+                     .effect = e_fetch});
+  r.edges.push_back({.name = "fetch_done", .from = kMFetch, .to = kMFanout,
+                     .op = Op::kTau, .guard = g_fetch_done,
+                     .effect = e_fanout_begin});
+  r.edges.push_back({.name = "fetch_resp", .from = kMFetchWait, .to = kMFetch,
+                     .op = Op::kRecv, .tag = kTagFetchResp,
+                     .flavor = kAnyFlavor, .peer = PeerSel::kLastSrc,
+                     .stamp = kStampFetchResp});
+  r.edges.push_back({.name = "fetch_lost", .from = kMFetchWait, .to = kMFetch,
+                     .op = Op::kTau, .tag = kTagFetchResp,
+                     .peer = PeerSel::kLastSrc, .lost_peer_escape = true});
+  r.edges.push_back({.name = "end_fanout", .from = kMFanout, .to = kMFanout,
+                     .op = Op::kSend, .tag = kTagFetchReq, .flavor = kFetchEnd,
+                     .peer = PeerSel::kIter, .stamp = kStampFetchReq,
+                     .min_bytes = kFetchReqBytes, .max_bytes = kFetchReqBytes,
+                     .guard = g_iter_more, .effect = e_iter_next});
+  r.edges.push_back({.name = "fanout_done", .from = kMFanout, .to = kMQLoop,
+                     .op = Op::kTau, .guard = g_iter_done,
+                     .effect = e_next_query});
+  r.edges.push_back({.name = "final_drain", .from = kMFinal, .to = kMFinal,
+                     .op = Op::kRecv, .tag = mpisim::kTagFaultNotice,
+                     .flavor = kAnyFlavor, .peer = PeerSel::kAnyWorker,
+                     .silent = true});
+  r.edges.push_back({.name = "final_barrier", .from = kMFinal, .to = kMAccept,
+                     .op = Op::kCollective, .coll = "barrier"});
+  return r;
+}
+
+enum WState : int {
+  kWInit, kWReq, kWAssign, kWQLoop, kWServe, kWResp, kWFinal, kWAccept,
+  kWCount,
+};
+
+const char* w_state_name(int s) {
+  static constexpr const char* kNames[kWCount] = {
+      "init_bcast", "work_req", "assign_wait", "query_loop", "serve_fetch",
+      "send_resp", "final_barrier", "accept"};
+  return s >= 0 && s < kWCount ? kNames[s] : nullptr;
+}
+
+void e_w_next_query(Ctx& c) { ++c.env->c[kCQuery]; }
+
+Role mpiblast_worker() {
+  Role r;
+  r.name = "worker";
+  r.nstates = kWCount;
+  r.initial = kWInit;
+  r.accept = kWAccept;
+  r.state_name = w_state_name;
+  r.edges.push_back({.name = "init_bcast", .from = kWInit, .to = kWReq,
+                     .op = Op::kCollective, .coll = "bcast"});
+  append_request_loop(r.edges, kWReq, kWAssign, kWQLoop, kTaskMinBytes);
+  r.edges.push_back({.name = "query_gather", .from = kWQLoop, .to = kWServe,
+                     .op = Op::kCollective, .coll = "gather",
+                     .guard = more_queries});
+  r.edges.push_back({.name = "queries_done", .from = kWQLoop, .to = kWFinal,
+                     .op = Op::kTau, .guard = queries_done});
+  r.edges.push_back({.name = "fetch_data", .from = kWServe, .to = kWResp,
+                     .op = Op::kRecv, .tag = kTagFetchReq,
+                     .flavor = kFetchData, .peer = PeerSel::kMaster,
+                     .stamp = kStampFetchReq, .min_bytes = kFetchReqBytes,
+                     .max_bytes = kFetchReqBytes});
+  r.edges.push_back({.name = "fetch_end", .from = kWServe, .to = kWQLoop,
+                     .op = Op::kRecv, .tag = kTagFetchReq,
+                     .flavor = kFetchEnd, .peer = PeerSel::kMaster,
+                     .stamp = kStampFetchReq, .min_bytes = kFetchReqBytes,
+                     .max_bytes = kFetchReqBytes, .effect = e_w_next_query});
+  r.edges.push_back({.name = "fetch_resp", .from = kWResp, .to = kWServe,
+                     .op = Op::kSend, .tag = kTagFetchResp,
+                     .peer = PeerSel::kMaster, .stamp = kStampFetchResp});
+  r.edges.push_back({.name = "final_barrier", .from = kWFinal, .to = kWAccept,
+                     .op = Op::kCollective, .coll = "barrier"});
+  return r;
+}
+
+// --------------------------------------------------------------------------
+// pioBLAST: range plans (static) or serve_work (dynamic), a stats
+// broadcast, a search barrier, then the batched collective-output stage
+// with per-flush degraded-path agreement (pario/collective.cpp).
+
+enum PState : int {
+  kPInit, kPRanges, kPStats, kPGate, kPLoop, kPDispatch, kPDrain,
+  kPSearchBar, kPQLoop, kPEarlyB, kPCand, kPSel, kPMaybeFlush, kPFlush,
+  kPFlush2, kPFlushB, kPFlushBar, kPAfter, kPFinalBar, kPAccept, kPCount,
+};
+
+const char* p_state_name(int s) {
+  static constexpr const char* kNames[kPCount] = {
+      "init_bcast", "range_fanout", "stats_bcast", "input_gate",
+      "serve_loop", "serve_dispatch", "serve_drain", "search_barrier",
+      "query_loop", "early_bcast", "cand_gather", "select_fanout",
+      "maybe_flush", "flush_sync", "flush_branch", "flush_bcast",
+      "flush_barrier", "after_flush", "final_barrier", "accept"};
+  return s >= 0 && s < kPCount ? kNames[s] : nullptr;
+}
+
+void p_init_env(Env& e, const SpecParams& p, int /*self*/) {
+  e.c[kCTasks] = p.tasks < 0 ? 0 : p.tasks;
+  e.c[kCActive] = p.nranks - 1;
+  e.c[kCIter] = 1;
+}
+
+bool g_static(const Ctx& c) { return !c.params->dynamic; }
+bool g_dynamic(const Ctx& c) { return c.params->dynamic; }
+
+bool g_range_more(const Ctx& c) {
+  return !c.params->dynamic && c.env->c[kCIter] < c.nranks;
+}
+
+bool g_range_done(const Ctx& c) {
+  return c.params->dynamic || c.env->c[kCIter] >= c.nranks;
+}
+
+bool g_early(const Ctx& c) { return more_queries(c) && c.params->early_score; }
+bool g_plain(const Ctx& c) { return more_queries(c) && !c.params->early_score; }
+
+void e_sel_begin(Ctx& c) { c.env->c[kCIter] = 1; }
+
+void e_sel_done(Ctx& c) { ++c.env->c[kCQuery]; }
+
+int flush_batch(const Ctx& c) {
+  if (c.params->batch > 0) return c.params->batch;
+  return c.params->queries > 0 ? c.params->queries : 1;
+}
+
+bool g_flush_now(const Ctx& c) {
+  const int q = c.env->c[kCQuery];
+  return q % flush_batch(c) == 0 ||
+         (c.params->queries >= 0 && q >= c.params->queries);
+}
+
+bool g_no_flush(const Ctx& c) { return !g_flush_now(c); }
+
+bool g_ft(const Ctx& c) { return c.params->fault_tolerant; }
+bool g_not_ft(const Ctx& c) { return !c.params->fault_tolerant; }
+
+// The pario liveness sync (kTagFaultSync, internal band): rank 0's crash
+// snapshot is broadcast so every rank takes the same flush path. Modeled
+// as a silent collective whose effect records the agreed decision.
+void e_flush_sync(Ctx& c) {
+  if (any_crashed(c))
+    c.env->f[0] |= kFDegraded;
+  else
+    c.env->f[0] &= static_cast<std::uint8_t>(~kFDegraded);
+}
+
+bool g_flush_degraded(const Ctx& c) {
+  if (!c.params->fault_tolerant) return false;
+  return c.strict ? flag(c, 0, kFDegraded) : true;
+}
+
+bool g_flush_normal(const Ctx& c) {
+  if (!c.params->fault_tolerant) return true;
+  return c.strict ? !flag(c, 0, kFDegraded) : true;
+}
+
+bool g_after_more(const Ctx& c) { return more_queries(c); }
+
+// Appends the shared output stage (query loop + flush) used identically by
+// the pioBLAST master and worker; only the per-query select leg differs.
+void append_output_stage(std::vector<Edge>& e, int s_qloop, int s_earlyb,
+                         int s_cand, int s_sel, int s_maybe, int s_flush,
+                         int s_flush2, int s_flushb, int s_flushbar,
+                         int s_after, int s_final) {
+  const auto ql = static_cast<std::int16_t>(s_qloop);
+  const auto eb = static_cast<std::int16_t>(s_earlyb);
+  const auto ca = static_cast<std::int16_t>(s_cand);
+  const auto se = static_cast<std::int16_t>(s_sel);
+  const auto mf = static_cast<std::int16_t>(s_maybe);
+  const auto fl = static_cast<std::int16_t>(s_flush);
+  const auto f2 = static_cast<std::int16_t>(s_flush2);
+  const auto fb = static_cast<std::int16_t>(s_flushb);
+  const auto fr = static_cast<std::int16_t>(s_flushbar);
+  const auto af = static_cast<std::int16_t>(s_after);
+  const auto fi = static_cast<std::int16_t>(s_final);
+  e.push_back({.name = "early_gather", .from = ql, .to = eb,
+               .op = Op::kCollective, .coll = "gather", .guard = g_early});
+  e.push_back({.name = "early_bcast", .from = eb, .to = ca,
+               .op = Op::kCollective, .coll = "bcast"});
+  e.push_back({.name = "cand_gather_early", .from = ca, .to = se,
+               .op = Op::kCollective, .coll = "gather",
+               .effect = e_sel_begin});
+  e.push_back({.name = "cand_gather", .from = ql, .to = se,
+               .op = Op::kCollective, .coll = "gather", .guard = g_plain,
+               .effect = e_sel_begin});
+  e.push_back({.name = "queries_done", .from = ql, .to = fi, .op = Op::kTau,
+               .guard = queries_done});
+  e.push_back({.name = "flush", .from = mf, .to = fl, .op = Op::kTau,
+               .guard = g_flush_now});
+  e.push_back({.name = "no_flush", .from = mf, .to = ql, .op = Op::kTau,
+               .guard = g_no_flush});
+  e.push_back({.name = "flush_sync", .from = fl, .to = f2,
+               .op = Op::kCollective, .coll = "fault_sync", .silent = true,
+               .guard = g_ft, .effect = e_flush_sync});
+  e.push_back({.name = "flush_nosync", .from = fl, .to = f2, .op = Op::kTau,
+               .guard = g_not_ft});
+  e.push_back({.name = "flush_degraded", .from = f2, .to = fr, .op = Op::kTau,
+               .guard = g_flush_degraded});
+  e.push_back({.name = "flush_gather", .from = f2, .to = fb,
+               .op = Op::kCollective, .coll = "gather",
+               .guard = g_flush_normal});
+  e.push_back({.name = "flush_bcast", .from = fb, .to = fr,
+               .op = Op::kCollective, .coll = "bcast"});
+  e.push_back({.name = "flush_barrier", .from = fr, .to = af,
+               .op = Op::kCollective, .coll = "barrier"});
+  e.push_back({.name = "after_more", .from = af, .to = ql, .op = Op::kTau,
+               .guard = g_after_more});
+  e.push_back({.name = "after_done", .from = af, .to = fi, .op = Op::kTau,
+               .guard = queries_done});
+}
+
+Role pioblast_master() {
+  Role r;
+  r.name = "master";
+  r.nstates = kPCount;
+  r.initial = kPInit;
+  r.accept = kPAccept;
+  r.init_env = p_init_env;
+  r.state_name = p_state_name;
+  r.edges.push_back({.name = "init_bcast", .from = kPInit, .to = kPRanges,
+                     .op = Op::kCollective, .coll = "bcast"});
+  r.edges.push_back({.name = "range_send", .from = kPRanges, .to = kPRanges,
+                     .op = Op::kSend, .tag = kTagRanges,
+                     .peer = PeerSel::kIter, .stamp = kStampRanges,
+                     .guard = g_range_more, .effect = e_iter_next});
+  r.edges.push_back({.name = "range_done", .from = kPRanges, .to = kPStats,
+                     .op = Op::kTau, .guard = g_range_done});
+  r.edges.push_back({.name = "stats_bcast", .from = kPStats, .to = kPGate,
+                     .op = Op::kCollective, .coll = "bcast"});
+  r.edges.push_back({.name = "gate_static", .from = kPGate, .to = kPSearchBar,
+                     .op = Op::kTau, .guard = g_static});
+  r.edges.push_back({.name = "gate_dynamic", .from = kPGate, .to = kPLoop,
+                     .op = Op::kTau, .guard = g_dynamic});
+  append_serve_work(r.edges, kPLoop, kPDispatch, kPDrain, kPSearchBar,
+                    kTaskMinBytes);
+  r.edges.push_back({.name = "search_barrier", .from = kPSearchBar,
+                     .to = kPQLoop, .op = Op::kCollective, .coll = "barrier",
+                     .effect = e_begin_output});
+  append_output_stage(r.edges, kPQLoop, kPEarlyB, kPCand, kPSel, kPMaybeFlush,
+                      kPFlush, kPFlush2, kPFlushB, kPFlushBar, kPAfter,
+                      kPFinalBar);
+  r.edges.push_back({.name = "select_send", .from = kPSel, .to = kPSel,
+                     .op = Op::kSend, .tag = kTagSelect,
+                     .peer = PeerSel::kIter, .stamp = kStampSelect,
+                     .guard = g_iter_more, .effect = e_iter_next});
+  r.edges.push_back({.name = "select_done", .from = kPSel, .to = kPMaybeFlush,
+                     .op = Op::kTau, .guard = g_iter_done,
+                     .effect = e_sel_done});
+  r.edges.push_back({.name = "final_drain", .from = kPFinalBar,
+                     .to = kPFinalBar, .op = Op::kRecv,
+                     .tag = mpisim::kTagFaultNotice, .flavor = kAnyFlavor,
+                     .peer = PeerSel::kAnyWorker, .silent = true});
+  r.edges.push_back({.name = "final_barrier", .from = kPFinalBar,
+                     .to = kPAccept, .op = Op::kCollective,
+                     .coll = "barrier"});
+  return r;
+}
+
+enum QState : int {
+  kQInit, kQRanges, kQStats, kQGate, kQReq, kQAssign, kQSearchBar, kQQLoop,
+  kQEarlyB, kQCand, kQSelWait, kQMaybeFlush, kQFlush, kQFlush2, kQFlushB,
+  kQFlushBar, kQAfter, kQFinalBar, kQAccept, kQCount,
+};
+
+const char* q_state_name(int s) {
+  static constexpr const char* kNames[kQCount] = {
+      "init_bcast", "range_wait", "stats_bcast", "input_gate", "work_req",
+      "assign_wait", "search_barrier", "query_loop", "early_bcast",
+      "cand_gather", "select_wait", "maybe_flush", "flush_sync",
+      "flush_branch", "flush_bcast", "flush_barrier", "after_flush",
+      "final_barrier", "accept"};
+  return s >= 0 && s < kQCount ? kNames[s] : nullptr;
+}
+
+void e_q_begin_output(Ctx& c) { c.env->c[kCQuery] = 0; }
+
+void e_q_select(Ctx& c) { ++c.env->c[kCQuery]; }
+
+Role pioblast_worker() {
+  Role r;
+  r.name = "worker";
+  r.nstates = kQCount;
+  r.initial = kQInit;
+  r.accept = kQAccept;
+  r.state_name = q_state_name;
+  r.edges.push_back({.name = "init_bcast", .from = kQInit, .to = kQRanges,
+                     .op = Op::kCollective, .coll = "bcast"});
+  r.edges.push_back({.name = "range_recv", .from = kQRanges, .to = kQStats,
+                     .op = Op::kRecv, .tag = kTagRanges, .flavor = kAnyFlavor,
+                     .peer = PeerSel::kMaster, .stamp = kStampRanges,
+                     .guard = g_static});
+  r.edges.push_back({.name = "range_skip", .from = kQRanges, .to = kQStats,
+                     .op = Op::kTau, .guard = g_dynamic});
+  r.edges.push_back({.name = "stats_bcast", .from = kQStats, .to = kQGate,
+                     .op = Op::kCollective, .coll = "bcast"});
+  r.edges.push_back({.name = "gate_static", .from = kQGate, .to = kQSearchBar,
+                     .op = Op::kTau, .guard = g_static});
+  r.edges.push_back({.name = "gate_dynamic", .from = kQGate, .to = kQReq,
+                     .op = Op::kTau, .guard = g_dynamic});
+  append_request_loop(r.edges, kQReq, kQAssign, kQSearchBar, kTaskMinBytes);
+  r.edges.push_back({.name = "search_barrier", .from = kQSearchBar,
+                     .to = kQQLoop, .op = Op::kCollective, .coll = "barrier",
+                     .effect = e_q_begin_output});
+  append_output_stage(r.edges, kQQLoop, kQEarlyB, kQCand, kQSelWait,
+                      kQMaybeFlush, kQFlush, kQFlush2, kQFlushB, kQFlushBar,
+                      kQAfter, kQFinalBar);
+  r.edges.push_back({.name = "select_recv", .from = kQSelWait,
+                     .to = kQMaybeFlush, .op = Op::kRecv, .tag = kTagSelect,
+                     .flavor = kAnyFlavor, .peer = PeerSel::kMaster,
+                     .stamp = kStampSelect, .effect = e_q_select});
+  r.edges.push_back({.name = "final_barrier", .from = kQFinalBar,
+                     .to = kQAccept, .op = Op::kCollective,
+                     .coll = "barrier"});
+  return r;
+}
+
+// --------------------------------------------------------------------------
+// pario exchanges (pario/collective.cpp): the shuffle into aggregators
+// (collective_write) and the request/response rounds (collective_read).
+// Modeled with uniform per-domain rounds; these machines are verified by
+// the model checker only — their tags live in the runtime-internal band,
+// which the conformance monitor filters out.
+
+int pario_tag(int idx) { return pario::collective_internal_tags()[
+    static_cast<std::size_t>(idx)]; }
+int tag_shuffle() { return pario_tag(0); }
+int tag_read_req() { return pario_tag(1); }
+int tag_read_resp() { return pario_tag(2); }
+
+// j-th element of 0..n-1 with `self` removed.
+int nth_excluding(int j, int self) { return j < self ? j : j + 1; }
+
+enum XState : int { kXSend, kXRecv, kXBar, kXAccept, kXCount };
+
+const char* x_state_name(int s) {
+  static constexpr const char* kNames[kXCount] = {"shuffle_send",
+                                                  "shuffle_recv", "barrier",
+                                                  "accept"};
+  return s >= 0 && s < kXCount ? kNames[s] : nullptr;
+}
+
+// Send iterator: c[kCAux] is the linear (domain, round) index; c[kCIter]
+// the current target domain.
+int x_send_total(const Ctx& c) { return c.params->naggs * c.params->rounds; }
+
+bool g_x_send(const Ctx& c) {
+  const int i = c.env->c[kCAux];
+  return i < x_send_total(c) && i / c.params->rounds != c.self;
+}
+
+bool g_x_send_local(const Ctx& c) {
+  const int i = c.env->c[kCAux];
+  return i < x_send_total(c) && i / c.params->rounds == c.self;
+}
+
+void e_x_send_adv(Ctx& c) {
+  const int i = ++c.env->c[kCAux];
+  c.env->c[kCIter] = i / c.params->rounds;
+}
+
+bool g_x_send_done_agg(const Ctx& c) {
+  return c.env->c[kCAux] >= x_send_total(c) && c.self < c.params->naggs;
+}
+
+bool g_x_send_done_cli(const Ctx& c) {
+  return c.env->c[kCAux] >= x_send_total(c) && c.self >= c.params->naggs;
+}
+
+// Recv iterator: c[kCQuery] counts consumed messages; the peer sequence is
+// round-major over all ranks but self (the recv order in the aggregator's
+// drain loop).
+int x_recv_peer(const Ctx& c, int j) {
+  return nth_excluding(j % (c.nranks - 1), c.self);
+}
+
+int x_recv_total(const Ctx& c) { return (c.nranks - 1) * c.params->rounds; }
+
+void e_x_recv_begin(Ctx& c) {
+  c.env->c[kCQuery] = 0;
+  c.env->c[kCIter] = x_recv_peer(c, 0);
+}
+
+bool g_x_recv(const Ctx& c) { return c.env->c[kCQuery] < x_recv_total(c); }
+
+void e_x_recv_adv(Ctx& c) {
+  const int j = ++c.env->c[kCQuery];
+  if (j < x_recv_total(c)) c.env->c[kCIter] = x_recv_peer(c, j);
+}
+
+bool g_x_recv_done(const Ctx& c) {
+  return c.env->c[kCQuery] >= x_recv_total(c);
+}
+
+Role pario_write_role() {
+  Role r;
+  r.name = "exchange";
+  r.nstates = kXCount;
+  r.initial = kXSend;
+  r.accept = kXAccept;
+  r.state_name = x_state_name;
+  r.edges.push_back({.name = "shuffle_send", .from = kXSend, .to = kXSend,
+                     .op = Op::kSend, .tag = tag_shuffle(),
+                     .peer = PeerSel::kIter, .guard = g_x_send,
+                     .effect = e_x_send_adv});
+  r.edges.push_back({.name = "shuffle_local", .from = kXSend, .to = kXSend,
+                     .op = Op::kTau, .guard = g_x_send_local,
+                     .effect = e_x_send_adv});
+  r.edges.push_back({.name = "send_done_agg", .from = kXSend, .to = kXRecv,
+                     .op = Op::kTau, .guard = g_x_send_done_agg,
+                     .effect = e_x_recv_begin});
+  r.edges.push_back({.name = "send_done_cli", .from = kXSend, .to = kXBar,
+                     .op = Op::kTau, .guard = g_x_send_done_cli});
+  r.edges.push_back({.name = "shuffle_recv", .from = kXRecv, .to = kXRecv,
+                     .op = Op::kRecv, .tag = tag_shuffle(),
+                     .flavor = kAnyFlavor, .peer = PeerSel::kIter,
+                     .guard = g_x_recv, .effect = e_x_recv_adv});
+  r.edges.push_back({.name = "shuffle_lost", .from = kXRecv, .to = kXRecv,
+                     .op = Op::kTau, .tag = tag_shuffle(),
+                     .peer = PeerSel::kIter, .lost_peer_escape = true,
+                     .guard = g_x_recv, .effect = e_x_recv_adv});
+  r.edges.push_back({.name = "recv_done", .from = kXRecv, .to = kXBar,
+                     .op = Op::kTau, .guard = g_x_recv_done});
+  r.edges.push_back({.name = "exchange_barrier", .from = kXBar,
+                     .to = kXAccept, .op = Op::kCollective,
+                     .coll = "barrier"});
+  return r;
+}
+
+enum RState : int {
+  kRReq, kRSrvRecv, kRSrvSend, kRCollect, kRBar, kRAccept, kRCount,
+};
+
+const char* r_state_name(int s) {
+  static constexpr const char* kNames[kRCount] = {
+      "read_req", "server_recv", "server_send", "collect", "barrier",
+      "accept"};
+  return s >= 0 && s < kRCount ? kNames[s] : nullptr;
+}
+
+// Request iterator: c[kCAux] = domain index.
+bool g_r_req(const Ctx& c) {
+  const int i = c.env->c[kCAux];
+  return i < c.params->naggs && i != c.self;
+}
+
+bool g_r_req_local(const Ctx& c) {
+  const int i = c.env->c[kCAux];
+  return i < c.params->naggs && i == c.self;
+}
+
+void e_r_req_adv(Ctx& c) {
+  const int i = ++c.env->c[kCAux];
+  c.env->c[kCIter] = i;
+}
+
+bool g_r_req_done_agg(const Ctx& c) {
+  return c.env->c[kCAux] >= c.params->naggs && c.self < c.params->naggs;
+}
+
+bool g_r_req_done_cli(const Ctx& c) {
+  return c.env->c[kCAux] >= c.params->naggs && c.self >= c.params->naggs;
+}
+
+// Server recv: one request from every other rank.
+void e_r_srv_begin(Ctx& c) {
+  c.env->c[kCQuery] = 0;
+  c.env->c[kCIter] = nth_excluding(0, c.self);
+}
+
+bool g_r_srv_recv(const Ctx& c) { return c.env->c[kCQuery] < c.nranks - 1; }
+
+void e_r_srv_adv(Ctx& c) {
+  const int j = ++c.env->c[kCQuery];
+  if (j < c.nranks - 1) c.env->c[kCIter] = nth_excluding(j, c.self);
+}
+
+bool g_r_srv_recv_done(const Ctx& c) {
+  return c.env->c[kCQuery] >= c.nranks - 1;
+}
+
+// Server send: rounds * (nranks - 1) responses, round-major.
+void e_r_send_begin(Ctx& c) {
+  c.env->c[kCAux] = 0;
+  c.env->c[kCIter] = nth_excluding(0, c.self);
+}
+
+int r_send_total(const Ctx& c) { return (c.nranks - 1) * c.params->rounds; }
+
+bool g_r_srv_send(const Ctx& c) { return c.env->c[kCAux] < r_send_total(c); }
+
+void e_r_send_adv(Ctx& c) {
+  const int j = ++c.env->c[kCAux];
+  if (j < r_send_total(c))
+    c.env->c[kCIter] = nth_excluding(j % (c.nranks - 1), c.self);
+}
+
+bool g_r_srv_send_done(const Ctx& c) {
+  return c.env->c[kCAux] >= r_send_total(c);
+}
+
+// Collect: `rounds` responses from each foreign aggregator, domain-major.
+int r_collect_aggs(const Ctx& c) {
+  return c.self < c.params->naggs ? c.params->naggs - 1 : c.params->naggs;
+}
+
+int r_collect_peer(const Ctx& c, int j) {
+  const int a = j / c.params->rounds;
+  return c.self < c.params->naggs ? nth_excluding(a, c.self) : a;
+}
+
+int r_collect_total(const Ctx& c) {
+  return r_collect_aggs(c) * c.params->rounds;
+}
+
+void e_r_collect_begin(Ctx& c) {
+  c.env->c[kCQuery] = 0;
+  if (r_collect_total(c) > 0) c.env->c[kCIter] = r_collect_peer(c, 0);
+}
+
+bool g_r_collect(const Ctx& c) {
+  return c.env->c[kCQuery] < r_collect_total(c);
+}
+
+void e_r_collect_adv(Ctx& c) {
+  const int j = ++c.env->c[kCQuery];
+  if (j < r_collect_total(c)) c.env->c[kCIter] = r_collect_peer(c, j);
+}
+
+bool g_r_collect_done(const Ctx& c) {
+  return c.env->c[kCQuery] >= r_collect_total(c);
+}
+
+Role pario_read_role() {
+  Role r;
+  r.name = "exchange";
+  r.nstates = kRCount;
+  r.initial = kRReq;
+  r.accept = kRAccept;
+  r.state_name = r_state_name;
+  r.edges.push_back({.name = "read_req", .from = kRReq, .to = kRReq,
+                     .op = Op::kSend, .tag = tag_read_req(),
+                     .peer = PeerSel::kIter, .guard = g_r_req,
+                     .effect = e_r_req_adv});
+  r.edges.push_back({.name = "read_req_local", .from = kRReq, .to = kRReq,
+                     .op = Op::kTau, .guard = g_r_req_local,
+                     .effect = e_r_req_adv});
+  r.edges.push_back({.name = "req_done_agg", .from = kRReq, .to = kRSrvRecv,
+                     .op = Op::kTau, .guard = g_r_req_done_agg,
+                     .effect = e_r_srv_begin});
+  r.edges.push_back({.name = "req_done_cli", .from = kRReq, .to = kRCollect,
+                     .op = Op::kTau, .guard = g_r_req_done_cli,
+                     .effect = e_r_collect_begin});
+  r.edges.push_back({.name = "srv_recv", .from = kRSrvRecv, .to = kRSrvRecv,
+                     .op = Op::kRecv, .tag = tag_read_req(),
+                     .flavor = kAnyFlavor, .peer = PeerSel::kIter,
+                     .guard = g_r_srv_recv, .effect = e_r_srv_adv});
+  r.edges.push_back({.name = "srv_recv_lost", .from = kRSrvRecv,
+                     .to = kRSrvRecv, .op = Op::kTau, .tag = tag_read_req(),
+                     .peer = PeerSel::kIter, .lost_peer_escape = true,
+                     .guard = g_r_srv_recv, .effect = e_r_srv_adv});
+  r.edges.push_back({.name = "srv_recv_done", .from = kRSrvRecv,
+                     .to = kRSrvSend, .op = Op::kTau,
+                     .guard = g_r_srv_recv_done, .effect = e_r_send_begin});
+  r.edges.push_back({.name = "srv_send", .from = kRSrvSend, .to = kRSrvSend,
+                     .op = Op::kSend, .tag = tag_read_resp(),
+                     .peer = PeerSel::kIter, .guard = g_r_srv_send,
+                     .effect = e_r_send_adv});
+  r.edges.push_back({.name = "srv_send_done", .from = kRSrvSend,
+                     .to = kRCollect, .op = Op::kTau,
+                     .guard = g_r_srv_send_done, .effect = e_r_collect_begin});
+  r.edges.push_back({.name = "collect", .from = kRCollect, .to = kRCollect,
+                     .op = Op::kRecv, .tag = tag_read_resp(),
+                     .flavor = kAnyFlavor, .peer = PeerSel::kIter,
+                     .guard = g_r_collect, .effect = e_r_collect_adv});
+  r.edges.push_back({.name = "collect_lost", .from = kRCollect,
+                     .to = kRCollect, .op = Op::kTau, .tag = tag_read_resp(),
+                     .peer = PeerSel::kIter, .lost_peer_escape = true,
+                     .guard = g_r_collect, .effect = e_r_collect_adv});
+  r.edges.push_back({.name = "collect_done", .from = kRCollect, .to = kRBar,
+                     .op = Op::kTau, .guard = g_r_collect_done});
+  r.edges.push_back({.name = "exchange_barrier", .from = kRBar,
+                     .to = kRAccept, .op = Op::kCollective,
+                     .coll = "barrier"});
+  return r;
+}
+
+int master_worker_role_of(int rank, const SpecParams&) {
+  return rank == 0 ? 0 : 1;
+}
+
+int uniform_role_of(int, const SpecParams&) { return 0; }
+
+}  // namespace
+
+std::string state_label(const Role& role, int state) {
+  if (role.state_name != nullptr)
+    if (const char* n = role.state_name(state)) return n;
+  return std::to_string(state);
+}
+
+ProtocolSpec mpiblast_spec() {
+  ProtocolSpec s;
+  s.name = "mpiblast";
+  s.roles = {mpiblast_master(), mpiblast_worker()};
+  s.role_of = master_worker_role_of;
+  return s;
+}
+
+ProtocolSpec pioblast_spec() {
+  ProtocolSpec s;
+  s.name = "pioblast";
+  s.roles = {pioblast_master(), pioblast_worker()};
+  s.role_of = master_worker_role_of;
+  return s;
+}
+
+ProtocolSpec pario_write_exchange_spec() {
+  ProtocolSpec s;
+  s.name = "pario_write";
+  s.roles = {pario_write_role()};
+  s.role_of = uniform_role_of;
+  return s;
+}
+
+ProtocolSpec pario_read_exchange_spec() {
+  ProtocolSpec s;
+  s.name = "pario_read";
+  s.roles = {pario_read_role()};
+  s.role_of = uniform_role_of;
+  return s;
+}
+
+std::vector<const ProtocolSpec*> all_specs() {
+  static const ProtocolSpec kMpi = mpiblast_spec();
+  static const ProtocolSpec kPio = pioblast_spec();
+  static const ProtocolSpec kWrite = pario_write_exchange_spec();
+  static const ProtocolSpec kRead = pario_read_exchange_spec();
+  return {&kMpi, &kPio, &kWrite, &kRead};
+}
+
+const ProtocolSpec* spec_by_name(const std::string& name) {
+  for (const ProtocolSpec* s : all_specs())
+    if (name == s->name) return s;
+  return nullptr;
+}
+
+AuditResult audit_tag_coverage() {
+  AuditResult result;
+  auto fail = [&result](std::string msg) {
+    result.ok = false;
+    result.problems.push_back(std::move(msg));
+  };
+
+  const auto internal = pario::collective_internal_tags();
+  auto tag_known = [&internal](int tag) {
+    if (driver::tag_name(tag) != nullptr) return true;
+    if (tag == mpisim::kTagFaultNotice) return true;
+    for (const int t : internal)
+      if (t == tag) return true;
+    return false;
+  };
+
+  std::set<int> covered;
+  std::map<int, std::set<std::uint64_t>> send_stamps;
+  std::map<int, std::set<std::uint64_t>> recv_stamps;
+  for (const ProtocolSpec* spec : all_specs()) {
+    for (const Role& role : spec->roles) {
+      for (const Edge& e : role.edges) {
+        if (e.op != Op::kSend && e.op != Op::kRecv) continue;
+        covered.insert(e.tag);
+        if (!tag_known(e.tag))
+          fail(std::string(spec->name) + "/" + role.name + " edge " + e.name +
+               ": tag " + std::to_string(e.tag) +
+               " is not registered in driver/tags.h, not the fault notice, "
+               "and not a pario-internal tag");
+        (e.op == Op::kSend ? send_stamps : recv_stamps)[e.tag].insert(e.stamp);
+      }
+    }
+  }
+  for (const int tag : driver::registered_tags()) {
+    if (!covered.contains(tag))
+      fail("registered tag " + driver::tag_label(tag) +
+           " is covered by no spec edge");
+  }
+  for (const auto& [tag, stamps] : send_stamps) {
+    const auto it = recv_stamps.find(tag);
+    if (it != recv_stamps.end() && it->second != stamps)
+      fail("tag " + driver::tag_label(tag) +
+           ": send-side and recv-side TypeStamps disagree");
+  }
+  return result;
+}
+
+}  // namespace pioblast::protospec

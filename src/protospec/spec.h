@@ -1,0 +1,226 @@
+// Declarative protocol specifications for the driver message protocols.
+//
+// Each driver role (mpiBLAST master/worker, pioBLAST master/worker, pario
+// exchange participant) is described as a communicating state machine: a
+// plain C++ table of `Edge`s, each labelled with an operation (send /
+// recv / collective / internal tau), a tag from driver/tags.h, a payload
+// TypeStamp, byte bounds, a peer selector, and guard/effect functions over
+// a small fixed-layout environment. No codegen: the tables are ordinary
+// constant data built by the factory functions below.
+//
+// Two consumers read the same tables:
+//   * check.h    — an explicit-state exhaustive model checker over the
+//                  product of the machines (all schedules, bounded worlds,
+//                  optional single-crash injection);
+//   * conform.h  — a runtime conformance monitor that replays a real
+//                  mpisim trace against the machines and reports the first
+//                  divergent transition.
+//
+// The split between `strict` and permissive guard evaluation exists
+// because the checker knows the exact global state (scheduler bounds,
+// candidate counts) while the monitor sees only one rank's event stream:
+// data-dependent branches (how many fetch round trips, whether the
+// scheduler parks a worker) are explored nondeterministically when
+// `Ctx::strict` is false.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpisim/verify.h"
+
+namespace pioblast::protospec {
+
+/// Bounds instantiating a spec for one concrete world. The model checker
+/// requires every count to be concrete (>= 0); the conformance monitor may
+/// pass -1 for data-dependent quantities (tasks, fetch round trips), which
+/// makes the guards that consult them permissive.
+struct SpecParams {
+  int nranks = 2;       ///< total ranks including the master
+  int tasks = 1;        ///< work-queue tasks handed out by serve_work
+  int queries = 1;      ///< queries in the output stage
+  int fetch_cap = 1;    ///< mpiBLAST per-query fetch round-trip bound
+  int batch = 0;        ///< pioBLAST query_batch (0 = one flush at the end)
+  bool fault_tolerant = false;  ///< run carries an active fault plan
+  bool dynamic = false;         ///< pioBLAST greedy (serve_work) input mode
+  bool early_score = false;     ///< pioBLAST early-score gather+bcast
+  int naggs = 1;        ///< pario exchange: aggregator count
+  int rounds = 1;       ///< pario exchange: buffer rounds per domain
+};
+
+/// Mutable per-role protocol state. Fixed POD layout so the model checker
+/// can hash and compare states bytewise; the meaning of each counter slot
+/// is per-machine but the conventional roles below cover all of them.
+struct Env {
+  static constexpr int kMaxRanks = 33;  ///< spec world bound (master + 32)
+  std::int32_t c[6]{};                  ///< counters (kC* slots below)
+  std::int16_t hist[kMaxRanks]{};       ///< master: per-worker history size
+  std::uint8_t f[kMaxRanks]{};          ///< per-worker flag bits (kF* below)
+  friend bool operator==(const Env&, const Env&) = default;
+};
+
+// Conventional counter slots.
+inline constexpr int kCTasks = 0;    ///< tasks left (serve_work)
+inline constexpr int kCActive = 1;   ///< unretired live workers
+inline constexpr int kCQuery = 2;    ///< output-stage query index
+inline constexpr int kCAux = 3;      ///< fetch / exchange round counter
+inline constexpr int kCIter = 4;     ///< PeerSel::kIter target rank
+inline constexpr int kCLastSrc = 5;  ///< PeerSel::kLastSrc target rank
+
+// Flag bits in Env::f (master planes index workers by their rank).
+inline constexpr std::uint8_t kFBusy = 1;      ///< assignment outstanding
+inline constexpr std::uint8_t kFRetired = 2;   ///< has_task=0 reply sent
+inline constexpr std::uint8_t kFDead = 4;      ///< failure detector said so
+inline constexpr std::uint8_t kFParked = 8;    ///< request held, no reply
+inline constexpr std::uint8_t kFDegraded = 16; ///< flush agreed degraded
+
+/// Edge operation kind.
+enum class Op : std::uint8_t {
+  kSend,        ///< inject one message (asynchronous, never blocks)
+  kRecv,        ///< consume one matching message (blocks until available)
+  kCollective,  ///< enter a named collective (blocks until all live ranks)
+  kTau,         ///< internal step, no communication
+};
+
+/// How an edge's concrete peer rank is resolved.
+enum class PeerSel : std::uint8_t {
+  kNone,       ///< no peer (tau / collective)
+  kMaster,     ///< rank 0
+  kAnyWorker,  ///< any rank in 1..nranks-1 (nondeterministic)
+  kIter,       ///< Env::c[kCIter] (loop fan-outs; effects advance it)
+  kLastSrc,    ///< Env::c[kCLastSrc] (reply to the remembered sender)
+};
+
+/// Matches any message flavor on a recv edge.
+inline constexpr int kAnyFlavor = -1;
+
+// Message flavors (meaningful per tag; 0 = the tag's only flavor). The
+// checker matches them against what the send edge declared; the monitor
+// tells them apart by the byte bounds (an Assign retirement is exactly one
+// byte, a task reply at least five).
+inline constexpr int kAssignTask = 1;    ///< kTagAssign: has_task=1 + id
+inline constexpr int kAssignRetire = 2;  ///< kTagAssign: has_task=0
+inline constexpr int kFetchData = 1;     ///< kTagFetchReq: subject index
+inline constexpr int kFetchEnd = 2;      ///< kTagFetchReq: kEndOfQuery
+
+/// Guard/effect evaluation context. `peer` is the resolved concrete peer
+/// for the transition under evaluation (-1 if none), `flavor` the flavor
+/// of the message being consumed on recv edges.
+struct Ctx {
+  const SpecParams* params = nullptr;
+  Env* env = nullptr;
+  int self = 0;
+  int nranks = 0;
+  int peer = -1;
+  int flavor = 0;
+  const std::uint8_t* crashed = nullptr;  ///< per-rank crashed view
+  bool strict = true;  ///< checker: exact guards; monitor: permissive
+};
+
+/// One transition of a role machine.
+struct Edge {
+  const char* name = "";        ///< short label for diagnostics
+  std::int16_t from = 0;        ///< source state
+  std::int16_t to = 0;          ///< target state
+  Op op = Op::kTau;
+  int tag = 0;                  ///< message tag (send/recv)
+  std::int16_t flavor = 0;      ///< sent flavor / required recv flavor
+  PeerSel peer = PeerSel::kNone;
+  const char* coll = nullptr;   ///< collective op name ("barrier", ...)
+  std::uint64_t stamp = 0;      ///< payload TypeStamp fingerprint (0 = raw)
+  std::uint32_t min_bytes = 0;  ///< wire-size bounds: the monitor uses
+  std::uint32_t max_bytes = 0xFFFF'FFFFu;  ///< them to tell flavors apart
+  bool silent = false;          ///< produces no trace event (drains, the
+                                ///< pario liveness sync)
+  bool lost_peer_escape = false;  ///< models PeerLostError: enabled when
+                                  ///< the peer crashed and its channel to
+                                  ///< this rank holds no pending message
+  bool (*guard)(const Ctx&) = nullptr;   ///< nullptr = always enabled
+  void (*effect)(Ctx&) = nullptr;        ///< nullptr = no state change
+};
+
+/// One role's complete machine.
+struct Role {
+  const char* name = "";
+  int nstates = 0;
+  int initial = 0;
+  int accept = 0;  ///< terminal state; a rank here is done
+  std::vector<Edge> edges;
+  void (*init_env)(Env&, const SpecParams&, int self) = nullptr;
+  const char* (*state_name)(int) = nullptr;
+};
+
+/// A protocol: a set of roles plus the rank -> role mapping.
+struct ProtocolSpec {
+  const char* name = "";
+  std::vector<Role> roles;
+  int (*role_of)(int rank, const SpecParams&) = nullptr;
+
+  const Role& role_for(int rank, const SpecParams& params) const {
+    return roles[static_cast<std::size_t>(role_of(rank, params))];
+  }
+};
+
+/// Resolves an edge's peer selector against an environment. Returns the
+/// concrete rank, kPeerAny for kAnyWorker, or -1 for no peer.
+inline constexpr int kPeerAny = -2;
+inline int resolve_peer(const Edge& e, const Env& env) {
+  switch (e.peer) {
+    case PeerSel::kNone: return -1;
+    case PeerSel::kMaster: return 0;
+    case PeerSel::kAnyWorker: return kPeerAny;
+    case PeerSel::kIter: return env.c[kCIter];
+    case PeerSel::kLastSrc: return env.c[kCLastSrc];
+  }
+  return -1;
+}
+
+/// State label helper ("serve_loop" or the bare number).
+std::string state_label(const Role& role, int state);
+
+/// Evaluates an edge guard (nullptr = enabled).
+inline bool guard_ok(const Edge& e, const Ctx& ctx) {
+  return e.guard == nullptr || e.guard(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// The specs. Factories return fresh copies so tests can seed bugs by
+// mutating the edge tables; `all_specs()` serves shared immutable copies.
+
+/// mpiBLAST: serve_work scheduling + per-query gather / fetch round trips /
+/// end-of-query fan-out (paper Figure 2).
+ProtocolSpec mpiblast_spec();
+
+/// pioBLAST: static range plans or dynamic serve_work, stats broadcast,
+/// batched collective-output flushes with the fault-degraded path.
+ProtocolSpec pioblast_spec();
+
+/// pario collective-write core: the shuffle exchange into aggregators.
+ProtocolSpec pario_write_exchange_spec();
+
+/// pario collective-read core: read-request / read-response rounds.
+ProtocolSpec pario_read_exchange_spec();
+
+/// All specs, for audits and tooling (pointers to shared static copies).
+std::vector<const ProtocolSpec*> all_specs();
+
+/// Looks up a spec by name ("mpiblast", "pioblast", "pario_write",
+/// "pario_read"); nullptr when unknown.
+const ProtocolSpec* spec_by_name(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Cross-audits (tentpole item 4).
+
+struct AuditResult {
+  bool ok = true;
+  std::vector<std::string> problems;
+};
+
+/// Static spec audit: every tag in driver::detail::kAllTags is covered by
+/// at least one spec edge; every send/recv edge's tag is either a
+/// registered driver tag, the fault notice, or a pario-internal tag; and
+/// for each tag the send-side and recv-side TypeStamps agree.
+AuditResult audit_tag_coverage();
+
+}  // namespace pioblast::protospec

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Lint: no raw integer message tags in src/.
+"""Lint: no raw integer message tags in src/, and a consistent registry.
 
 Every point-to-point tag in the driver band must come from the central
 registry (src/driver/tags.h) and every infrastructure tag from a named
@@ -18,6 +18,19 @@ Typed channels (driver/channel.h) take a Process as their first argument
 and carry their tag internally — `ch.recv(p, 0)` passes a rank, not a
 tag — so calls whose first argument is `p` are skipped. Suppress a
 deliberate literal with a `lint-tags: allow` comment on the same line.
+
+When the scanned directory contains the registry (driver/tags.h), three
+views of it are cross-checked so they cannot drift:
+
+    * the `enum Tag` enumerators,
+    * the `detail::kAllTags` seed list for the verifier's tag audit,
+    * the `tag_name()` diagnostic switch,
+
+and — when protospec's edge tables (protospec/spec.cpp) are present too —
+every registered tag must be carried by some protocol-spec edge and every
+tag a spec edge names must be registered. (The same audit runs at run time
+in protospec::audit_tag_coverage; this copy fails `ctest -L lint` without
+building anything.)
 
 Usage: lint_tags.py <src-dir> [...more dirs]
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -123,6 +136,63 @@ def lint_file(path, rel, findings):
         )
 
 
+TAGS_HEADER = "driver/tags.h"
+SPEC_TABLE = "protospec/spec.cpp"
+
+ENUM_RE = re.compile(r"^\s*(kTag\w+)\s*=\s*\d+\s*,?\s*(?:///<.*)?$", re.M)
+ALLTAGS_RE = re.compile(
+    r"kAllTags\[\]\s*=\s*\{(?P<body>[^}]*)\}", re.S
+)
+CASE_RE = re.compile(r"case\s+(kTag\w+)\s*:")
+SPEC_TAG_RE = re.compile(r"driver::(kTag\w+)")
+
+
+def cross_check_registry(base, findings):
+    """Cross-checks the three views of the tag registry against each other
+    and against the protospec edge tables. Silently skipped when the
+    scanned tree does not contain the registry (extra dirs, test trees)."""
+    tags_path = base / TAGS_HEADER
+    if not tags_path.is_file():
+        return
+    text = strip_comments(tags_path.read_text(encoding="utf-8"))
+    enum_tags = set(ENUM_RE.findall(text))
+    m = ALLTAGS_RE.search(text)
+    all_tags = set(re.findall(r"kTag\w+", m.group("body"))) if m else set()
+    case_tags = set(CASE_RE.findall(text))
+    if not enum_tags:
+        findings.append(f"{TAGS_HEADER}: no `kTag* = N` enumerators parsed")
+    for name, have, missing_in in (
+        ("detail::kAllTags", all_tags, enum_tags - all_tags),
+        ("tag_name() switch", case_tags, enum_tags - case_tags),
+    ):
+        for tag in sorted(missing_in):
+            findings.append(
+                f"{TAGS_HEADER}: {tag} is declared in enum Tag but missing "
+                f"from {name}"
+            )
+        for tag in sorted(have - enum_tags):
+            findings.append(
+                f"{TAGS_HEADER}: {tag} appears in {name} but is not an "
+                f"enum Tag enumerator"
+            )
+
+    spec_path = base / SPEC_TABLE
+    if not spec_path.is_file():
+        return
+    spec_text = strip_comments(spec_path.read_text(encoding="utf-8"))
+    spec_tags = set(SPEC_TAG_RE.findall(spec_text))
+    for tag in sorted(enum_tags - spec_tags):
+        findings.append(
+            f"{SPEC_TABLE}: registered tag {tag} is carried by no protocol-"
+            f"spec edge (add the edge or retire the tag)"
+        )
+    for tag in sorted(spec_tags - enum_tags):
+        findings.append(
+            f"{SPEC_TABLE}: spec edge names {tag}, which {TAGS_HEADER} does "
+            f"not register"
+        )
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -134,6 +204,7 @@ def main(argv):
         if not base.is_dir():
             print(f"lint_tags: not a directory: {root}", file=sys.stderr)
             return 2
+        cross_check_registry(base, findings)
         for path in sorted(base.rglob("*")):
             if path.suffix not in {".h", ".cpp", ".cc", ".hpp"}:
                 continue
@@ -145,8 +216,7 @@ def main(argv):
     for f in findings:
         print(f)
     print(
-        f"lint_tags: {scanned} files scanned, {len(findings)} raw tag "
-        f"literal(s) found",
+        f"lint_tags: {scanned} files scanned, {len(findings)} finding(s)",
         file=sys.stderr,
     )
     return 1 if findings else 0

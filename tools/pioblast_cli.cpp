@@ -101,6 +101,7 @@ void report(const char* name, const blast::DriverResult& r) {
               static_cast<unsigned long long>(r.alignments_reported),
               util::format_bytes(r.output_bytes).c_str(),
               static_cast<unsigned long long>(r.candidates_merged));
+  if (!r.conformance.empty()) std::printf("%s\n\n", r.conformance.c_str());
 }
 
 }  // namespace
@@ -154,7 +155,11 @@ int main(int argc, char** argv) {
       .add_flag("early-score-broadcast", "enable the §5 pruning extension")
       .add_flag("dynamic-scheduling", "greedy range scheduling (§5)")
       .add_flag("metrics", "print one machine-readable METRICS line per run")
-      .add_flag("trace", "print the head of the event timeline");
+      .add_flag("trace", "print the head of the event timeline")
+      .add_flag("conformance",
+                "replay the run's trace against the protospec protocol "
+                "machines (src/protospec) and fail on the first divergent "
+                "event; prints one CONFORM summary line per run");
   if (!args.parse(argc, argv)) {
     std::cerr << args.error();
     return args.error().rfind("usage:", 0) == 0 ? 0 : 2;
@@ -251,6 +256,7 @@ int main(int argc, char** argv) {
     opts.job = job;
     opts.tracer = trace_ptr;
     opts.verify = verify;
+    opts.conformance = args.get_flag("conformance");
     opts.job.output_path = "out.mpiblast.txt";
     opts.fragment_bases = parts.fragment_bases;
     opts.fragment_ranges = parts.ranges;
@@ -286,6 +292,7 @@ int main(int argc, char** argv) {
     opts.job = job;
     opts.tracer = trace_ptr;
     opts.verify = verify;
+    opts.conformance = args.get_flag("conformance");
     opts.job.output_path = "out.pioblast.txt";
     opts.early_score_broadcast = args.get_flag("early-score-broadcast");
     opts.dynamic_scheduling = args.get_flag("dynamic-scheduling");

@@ -1,0 +1,209 @@
+// Exhaustive protocol model checking, as run by CI.
+//
+// Sweeps every protocol spec across world sizes and crash budgets and
+// model-checks each instance. One human line and one machine-readable
+// `ROW {...}` line per instance (fold the ROWs into BENCH_protospec.json
+// with tools/bench_to_json.py). Exit status is nonzero on the first
+// violation.
+//
+//   ./tools/protospec_check --max-ranks 6
+//   ./tools/protospec_check --spec pioblast --crashes 1 --no-por
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "protospec/check.h"
+#include "protospec/spec.h"
+
+namespace {
+
+using pioblast::protospec::ModelCheckOptions;
+using pioblast::protospec::ModelCheckResult;
+using pioblast::protospec::ProtocolSpec;
+using pioblast::protospec::SpecParams;
+
+struct Instance {
+  const ProtocolSpec* spec = nullptr;
+  std::string variant;  ///< extra label ("static", "dynamic", "")
+  SpecParams params;
+  int crashes = 0;
+};
+
+int run_instance(const Instance& inst, const ModelCheckOptions& base,
+                 bool& failed) {
+  ModelCheckOptions opts = base;
+  opts.max_crashes = inst.crashes;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ModelCheckResult res =
+      pioblast::protospec::model_check(*inst.spec, inst.params, opts);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  const std::string label =
+      std::string(inst.spec->name) +
+      (inst.variant.empty() ? "" : "/" + inst.variant);
+  std::printf("%-24s ranks=%d crashes=%d ft=%d  states=%llu pruned=%llu "
+              "trans=%llu maxq=%zu depth=%zu  %s (%lld ms)\n",
+              label.c_str(), inst.params.nranks, inst.crashes,
+              inst.params.fault_tolerant ? 1 : 0,
+              static_cast<unsigned long long>(res.stats.states_explored),
+              static_cast<unsigned long long>(res.stats.states_pruned),
+              static_cast<unsigned long long>(res.stats.transitions),
+              res.stats.max_queue_depth, res.stats.max_depth,
+              res.ok ? "ok" : "VIOLATION", static_cast<long long>(ms));
+  std::printf("ROW {\"bench\":\"protospec\",\"spec\":\"%s\",\"variant\":\"%s\","
+              "\"ranks\":%d,\"crashes\":%d,\"fault_tolerant\":%s,"
+              "\"states_explored\":%llu,\"states_pruned\":%llu,"
+              "\"transitions\":%llu,\"terminal_states\":%llu,"
+              "\"crash_branches\":%llu,\"max_queue_depth\":%zu,"
+              "\"max_depth\":%zu,\"por\":%s,\"ms\":%lld,\"result\":\"%s\"}\n",
+              inst.spec->name, inst.variant.c_str(), inst.params.nranks,
+              inst.crashes, inst.params.fault_tolerant ? "true" : "false",
+              static_cast<unsigned long long>(res.stats.states_explored),
+              static_cast<unsigned long long>(res.stats.states_pruned),
+              static_cast<unsigned long long>(res.stats.transitions),
+              static_cast<unsigned long long>(res.stats.terminal_states),
+              static_cast<unsigned long long>(res.stats.crash_branches),
+              res.stats.max_queue_depth, res.stats.max_depth,
+              opts.por ? "true" : "false", static_cast<long long>(ms),
+              res.ok ? "ok" : "violation");
+  if (!res.ok) {
+    std::printf("  first violation: %s\n", res.error.c_str());
+    failed = true;
+  }
+  return res.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int min_ranks = 2;
+  int max_ranks = 6;
+  int crashes_arg = -1;   // -1 = both 0 and 1
+  int tasks_arg = -1;     // -1 = scaled default
+  int queries_arg = -1;   // -1 = scaled default
+  std::string spec_filter;
+  ModelCheckOptions base;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--min-ranks") {
+      min_ranks = std::atoi(next());
+    } else if (arg == "--max-ranks") {
+      max_ranks = std::atoi(next());
+    } else if (arg == "--crashes") {
+      crashes_arg = std::atoi(next());
+    } else if (arg == "--tasks") {
+      tasks_arg = std::atoi(next());
+    } else if (arg == "--queries") {
+      queries_arg = std::atoi(next());
+    } else if (arg == "--spec") {
+      spec_filter = next();
+    } else if (arg == "--no-por") {
+      base.por = false;
+    } else if (arg == "--max-states") {
+      base.max_states = static_cast<std::uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: protospec_check [--min-ranks N] [--max-ranks N] "
+                   "[--crashes 0|1] [--tasks N] [--queries N] [--spec NAME] "
+                   "[--no-por] [--max-states N]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  std::vector<Instance> instances;
+  auto add = [&](const ProtocolSpec* spec, const std::string& variant,
+                 SpecParams params) {
+    if (!spec_filter.empty() &&
+        std::string(spec->name).find(spec_filter) == std::string::npos &&
+        variant.find(spec_filter) == std::string::npos)
+      return;
+    std::vector<int> budgets;
+    if (crashes_arg < 0) {
+      budgets = {0, 1};
+    } else {
+      budgets = {crashes_arg};
+    }
+    for (const int crashes : budgets) {
+      Instance inst;
+      inst.spec = spec;
+      inst.variant = variant;
+      inst.params = params;
+      inst.crashes = crashes;
+      // A crash budget needs a fault-tolerant world; also check the
+      // fault-tolerant protocol without crashes (parking paths, notices).
+      if (crashes > 0) inst.params.fault_tolerant = true;
+      instances.push_back(inst);
+      if (crashes == 0 && !params.fault_tolerant) {
+        Instance ft = inst;
+        ft.params.fault_tolerant = true;
+        instances.push_back(ft);
+      }
+    }
+  };
+
+  for (int n = min_ranks; n <= max_ranks; ++n) {
+    // Small worlds afford a task per worker; past 4 ranks the any-worker
+    // assignment orderings dominate the state count (the master's
+    // per-worker history makes different assignment orders distinct,
+    // non-converging states), and 3 tasks already exercise every protocol
+    // path (assign, retire, park, requeue). At 6 ranks the serve-work
+    // specs shrink further — measured against the 4M-state CI bound:
+    // mpiblast fits at 2 tasks (3.8M states), the dynamic pioBLAST
+    // exchange at 1 (1.7M); the static variant is cheap at any count.
+    const int tasks = tasks_arg >= 0 ? tasks_arg : (n <= 4 ? n : 3);
+    const int tight = tasks_arg >= 0 ? tasks_arg : (n <= 5 ? tasks : 2);
+    const int tighter = tasks_arg >= 0 ? tasks_arg : (n <= 5 ? tasks : 1);
+    // Two queries cover the query-loop back-edge (gather/barrier then a
+    // second fetch round); at 6 ranks the second round roughly doubles
+    // the crash placements on top of the widest any-worker fan-out, so
+    // the largest world keeps one query to stay inside the state bound.
+    const int queries = queries_arg >= 0 ? queries_arg : (n <= 5 ? 2 : 1);
+    {
+      SpecParams p;
+      p.nranks = n;
+      p.tasks = tight;
+      p.queries = queries;
+      p.fetch_cap = 1;
+      add(pioblast::protospec::spec_by_name("mpiblast"), "", p);
+    }
+    {
+      SpecParams p;
+      p.nranks = n;
+      p.tasks = tasks;
+      p.queries = queries;
+      p.batch = 1;
+      p.dynamic = false;
+      add(pioblast::protospec::spec_by_name("pioblast"), "static", p);
+      p.tasks = tighter;
+      p.dynamic = true;
+      p.early_score = true;
+      add(pioblast::protospec::spec_by_name("pioblast"), "dynamic", p);
+    }
+    {
+      SpecParams p;
+      p.nranks = n;
+      p.naggs = n >= 2 ? 2 : 1;
+      p.rounds = 2;
+      add(pioblast::protospec::spec_by_name("pario_write"), "", p);
+      add(pioblast::protospec::spec_by_name("pario_read"), "", p);
+    }
+  }
+
+  bool failed = false;
+  for (const Instance& inst : instances) run_instance(inst, base, failed);
+  std::printf("protospec_check: %zu instance(s), %s\n", instances.size(),
+              failed ? "FAILED" : "all ok");
+  return failed ? 1 : 0;
+}
